@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 3 — seen/unseen program accuracy on seen uarchs."""
+
+from benchmarks._bench_util import bench_experiment
+
+
+def test_fig3_seen_unseen(benchmark):
+    result = bench_experiment(benchmark, "fig3_seen_unseen")
+    assert len(result.rows) == 17
+    # the paper's shape: seen programs predict better than unseen ones
+    assert result.metrics["avg_seen_error"] < result.metrics["avg_unseen_error"]

@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 4 — effect of moving 519.lbm into training."""
+
+from benchmarks._bench_util import bench_experiment
+
+
+def test_fig4_retrain_lbm(benchmark):
+    result = bench_experiment(benchmark, "fig4_retrain_lbm")
+    # the paper's shape: once lbm is seen, its error drops
+    assert result.metrics["lbm_error_after"] < result.metrics["lbm_error_before"]

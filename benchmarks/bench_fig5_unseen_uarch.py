@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 5 — accuracy on unseen microarchitectures."""
+
+from benchmarks._bench_util import bench_experiment
+
+
+def test_fig5_unseen_uarch(benchmark):
+    result = bench_experiment(benchmark, "fig5_unseen_uarch")
+    # errors on unseen microarchitectures stay in the same regime as the
+    # seen-uarch case (paper: 4.2% seen / 7.1% unseen programs)
+    assert result.metrics["avg_seen_error"] < 1.0
+    assert result.metrics["avg_unseen_error"] < 1.5

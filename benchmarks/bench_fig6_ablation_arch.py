@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 6 — foundation architecture ablation."""
+
+from benchmarks._bench_util import bench_experiment
+
+
+def test_fig6_ablation_arch(benchmark):
+    result = bench_experiment(benchmark, "fig6_ablation_arch")
+    # the paper's shape: the context-free linear model cannot match the
+    # recurrent default
+    assert result.metrics["default_lstm_error"] < result.metrics["linear_error"]

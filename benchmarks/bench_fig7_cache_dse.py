@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 7 + Sec. VI-A — cache-size DSE surfaces/ranks."""
+
+from benchmarks._bench_util import bench_experiment
+
+
+def test_fig7_cache_dse(benchmark):
+    result = bench_experiment(benchmark, "fig7_cache_dse")
+    m = result.metrics
+    # rank metrics are internally consistent and cover all 17 programs
+    assert m["optimal_count"] <= m["top5_count"] <= m["programs"] == 17
+    # the tuning budget is a half-grid on three programs, not 17 x 36
+    assert m["tuning_simulations"] < 17 * 36

@@ -1,0 +1,10 @@
+"""Bench: regenerate Fig. 8 — matrix-multiply loop-tiling analysis."""
+
+from benchmarks._bench_util import bench_experiment
+
+
+def test_fig8_loop_tiling(benchmark):
+    result = bench_experiment(benchmark, "fig8_loop_tiling")
+    # PerfVec's tile ranking must track the simulator's
+    assert result.metrics["time_correlation"] > 0.0
+    assert result.metrics["sim_best_tile"] > 1  # tiling helps

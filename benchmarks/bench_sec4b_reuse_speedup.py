@@ -1,0 +1,10 @@
+"""Bench: Sec. IV-B — instruction-representation-reuse training speedup."""
+
+from benchmarks._bench_util import bench_experiment
+
+
+def test_sec4b_reuse_speedup(benchmark):
+    result = bench_experiment(benchmark, "sec4b_reuse")
+    speedups = [v for k, v in result.metrics.items() if k.startswith("speedup")]
+    # reuse amortizes the foundation pass over all k microarchitectures
+    assert max(speedups) > 2.0

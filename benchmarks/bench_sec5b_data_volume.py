@@ -1,0 +1,10 @@
+"""Bench: Sec. V-B — training-data volume ablation."""
+
+from benchmarks._bench_util import bench_experiment
+
+
+def test_sec5b_data_volume(benchmark):
+    result = bench_experiment(benchmark, "sec5b_data_volume")
+    m = result.metrics
+    # the paper's shape: more instructions help generalization
+    assert m["error_at_100pct_instructions"] <= m["error_at_10pct_instructions"]

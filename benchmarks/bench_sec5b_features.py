@@ -1,0 +1,12 @@
+"""Bench: Sec. V-B — memory/branch feature ablation."""
+
+from benchmarks._bench_util import bench_experiment
+
+
+def test_sec5b_features(benchmark):
+    result = bench_experiment(benchmark, "sec5b_features")
+    # the paper's shape: removing stack-distance and branch features hurts
+    # (paper: 5.5% -> 17.0%)
+    assert result.metrics["masked_features_error"] > result.metrics[
+        "full_features_error"
+    ]

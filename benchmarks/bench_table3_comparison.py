@@ -1,0 +1,11 @@
+"""Bench: Table III — modeling-approach comparison with measured speeds."""
+
+from benchmarks._bench_util import bench_experiment
+
+
+def test_table3_comparison(benchmark):
+    result = bench_experiment(benchmark, "table3_comparison")
+    # PerfVec's program prediction is a dot product: microseconds,
+    # independent of program length
+    assert result.metrics["perfvec_predict_seconds"] < 1e-3
+    assert result.metrics["ithemal_ips"] > 0

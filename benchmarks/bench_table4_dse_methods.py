@@ -1,0 +1,12 @@
+"""Bench: Table IV — DSE method overhead vs quality."""
+
+from benchmarks._bench_util import bench_experiment
+
+
+def test_table4_dse_methods(benchmark):
+    result = bench_experiment(benchmark, "table4_dse_methods")
+    m = result.metrics
+    # the paper's headline: PerfVec explores with far fewer simulations
+    assert m["perfvec_sims"] < m["mlp_sims"]
+    assert m["perfvec_sims"] < m["actboost_sims"]
+    assert m["perfvec_sims"] < m["cross_program_sims"]

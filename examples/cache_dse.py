@@ -1,0 +1,73 @@
+"""Design space exploration demo (paper Sec. VI-A, scaled down).
+
+Explores L1D x L2 cache sizes around the Cortex-A7-like core for one
+program, comparing PerfVec's predicted objective surface against exhaustive
+simulation.  The PerfVec path simulates only a *sampled* subset of the grid
+on tuning programs, then predicts everything else with dot products.
+"""
+
+import numpy as np
+
+from repro.core.dse import CacheDSE
+from repro.core.predictor import TICK_SCALE
+from repro.core.training import FoundationTrainConfig, train_foundation
+from repro.core.uarch_model import cache_size_params, train_uarch_model
+from repro.experiments.common import render_surface
+from repro.features.dataset import build_dataset
+from repro.uarch.presets import cortex_a7_like
+
+TARGET = "508.namd"
+TUNING = ["525.x264", "557.xz"]
+N_INSTR = 3000
+
+
+def main() -> None:
+    dse = CacheDSE(cortex_a7_like(), l1_sizes=(4, 16, 64), l2_sizes=(256, 1024, 4096))
+    print(f"design space: {len(dse)} configurations")
+
+    # a quick foundation model (pretend it is the pre-trained one)
+    from repro.uarch import sample_configs
+
+    base_configs = sample_configs(n_ooo=4, n_inorder=2, seed=11,
+                                  include_presets=False)
+    train_ds = build_dataset(TUNING + ["544.nab"], base_configs, N_INSTR)
+    model, _ = train_foundation(
+        train_ds,
+        FoundationTrainConfig(spec="lstm-1-32", chunk_len=32, batch_size=8,
+                              epochs=6, seed=2),
+    )
+
+    # tuning: sample half the grid, simulate the tuning programs there
+    sampled = dse.sample_configs(len(dse) // 2, seed=0)
+    tuning_cfgs = [dse.configs[i] for i in sampled]
+    print(f"simulating tuning set: {len(TUNING)} programs x {len(tuning_cfgs)} configs")
+    tune_ds = build_dataset(TUNING, tuning_cfgs, N_INSTR)
+    uarch = train_uarch_model(
+        model, tuning_cfgs, tune_ds.features, tune_ds.targets,
+        extractor=cache_size_params, chunk_len=32, seed=0,
+    )
+
+    # predict the whole grid for the target program
+    target_ds = build_dataset([TARGET], dse.configs, N_INSTR)
+    feats, targets = target_ds.segment(TARGET)
+    rep = model.program_representation(feats, chunk_len=32)
+    m_all = uarch.representations(dse.configs, cache_size_params)
+    predicted = (rep @ m_all.T.astype(np.float64)) / TICK_SCALE
+    true = targets.astype(np.float64).sum(axis=0)
+
+    l1_labels = [f"{s}k" for s in dse.l1_sizes]
+    l2_labels = [f"{s}k" for s in dse.l2_sizes]
+    print()
+    print(render_surface(dse.objective_surface(true) / 1e6, l1_labels,
+                         l2_labels, f"{TARGET} objective — simulator (x1e6):"))
+    print()
+    print(render_surface(dse.objective_surface(predicted) / 1e6, l1_labels,
+                         l2_labels, f"{TARGET} objective — PerfVec (x1e6):"))
+    quality = dse.rank_quality(dse.objective_values(predicted),
+                               dse.objective_values(true))
+    print(f"\nchosen design rank: {quality.rank} of {len(dse)} "
+          f"({quality.frac_better:.0%} of designs are better)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Loop-tiling analysis demo (paper Sec. VI-B, Fig. 8, scaled down).
+
+Compares simulator and PerfVec execution-time estimates of a tiled matrix
+multiply across tile sizes on the Cortex-A7-like core, and prints a small
+ASCII chart of both series.
+"""
+
+import numpy as np
+
+from repro.core.finetune import learn_unseen_uarch_table
+from repro.core.predictor import TICK_SCALE
+from repro.core.training import FoundationTrainConfig, train_foundation
+from repro.features import encode_trace
+from repro.features.dataset import build_dataset
+from repro.sim import simulate
+from repro.uarch import sample_configs
+from repro.uarch.presets import cortex_a7_like
+from repro.vm import run_program
+from repro.workloads.kernels.linear_algebra import matmul
+
+TILES = (1, 2, 4, 8, 16, 48)
+BUDGET = 4000
+
+
+def ascii_series(label: str, values, width: int = 40) -> None:
+    top = max(values)
+    for tile, v in zip(TILES, values):
+        bar = "#" * max(1, int(round(v / top * width)))
+        print(f"  {label} tile={tile:<3d} {bar} {v / 1e4:.1f} us")
+
+
+def main() -> None:
+    a7 = cortex_a7_like()
+    configs = sample_configs(n_ooo=4, n_inorder=2, seed=5, include_presets=False)
+    train_ds = build_dataset(["538.imagick", "557.xz", "544.nab"], configs, BUDGET)
+    model, _ = train_foundation(
+        train_ds,
+        FoundationTrainConfig(spec="lstm-1-32", chunk_len=32, batch_size=8,
+                              epochs=6, seed=4),
+    )
+    # learn the A7's representation from a small tuning run (frozen model)
+    tune_ds = build_dataset(["557.xz"], [a7], BUDGET)
+    table = learn_unseen_uarch_table(model, tune_ds.features, tune_ds.targets,
+                                     chunk_len=32)
+    a7_rep = table.table.data[0]
+
+    sim_times, pv_times = [], []
+    for tile in TILES:
+        trace = run_program(matmul(n=48, tile=tile, reps=10_000),
+                            max_instructions=BUDGET)
+        sim_times.append(
+            float(simulate(trace, a7).incremental_latencies.astype(np.float64).sum())
+        )
+        rep = model.program_representation(encode_trace(trace), chunk_len=32)
+        pv_times.append(float(rep @ a7_rep.astype(np.float64)) / TICK_SCALE)
+
+    print("execution time of an equal instruction budget per tile size:\n")
+    ascii_series("sim    ", sim_times)
+    print()
+    ascii_series("perfvec", pv_times)
+    print(f"\nsimulator optimum: tile={TILES[int(np.argmin(sim_times))]}, "
+          f"perfvec optimum: tile={TILES[int(np.argmin(pv_times))]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: train a small PerfVec foundation model and predict.
+
+Walks the full pipeline in miniature:
+
+1. trace benchmarks with the functional VM,
+2. simulate them on sampled microarchitectures (incremental latencies),
+3. jointly train a foundation model + microarchitecture table with
+   representation reuse,
+4. compose a program representation by summing instruction representations,
+5. predict total execution time with one dot product per microarchitecture.
+
+Runs in well under a minute on a laptop CPU.  For the full-scale version
+use ``python -m repro run-all --scale paper``.
+"""
+
+import numpy as np
+
+from repro.core.errors import abs_rel_error
+from repro.core.training import FoundationTrainConfig, train_foundation
+from repro.features.dataset import build_dataset
+from repro.uarch import sample_configs
+from repro.workloads import TRAIN_BENCHMARKS
+
+
+def main() -> None:
+    # 1-2: trace three benchmarks and time them on six microarchitectures
+    configs = sample_configs(n_ooo=4, n_inorder=2, seed=7, include_presets=False)
+    benchmarks = list(TRAIN_BENCHMARKS[:3])
+    print(f"building dataset: {benchmarks} x {len(configs)} microarchitectures")
+    dataset = build_dataset(benchmarks, configs, max_instructions=3000)
+    print(f"  {len(dataset):,} instructions, {dataset.num_configs} target columns")
+
+    # 3: train the foundation model (microarchitecture sampling + reuse)
+    print("training foundation model (lstm-1-32, a few epochs)...")
+    model, history = train_foundation(
+        dataset,
+        FoundationTrainConfig(
+            spec="lstm-1-32", chunk_len=32, batch_size=8, epochs=6, seed=0
+        ),
+    )
+    print(f"  best validation loss: {history.best_val_loss:.4f} "
+          f"(epoch {history.best_epoch})")
+
+    # 4: program representation = sum of instruction representations
+    feats, targets = dataset.segment(benchmarks[0])
+    program_rep = model.program_representation(feats, chunk_len=32)
+    print(f"program representation of {benchmarks[0]}: "
+          f"{program_rep.shape[0]}-dim vector, |R| = {np.linalg.norm(program_rep):.2f}")
+
+    # 5: one dot product per microarchitecture
+    predicted = model.predict_program_times(feats, chunk_len=32)
+    true = targets.astype(np.float64).sum(axis=0)
+    print(f"\n{'microarchitecture':24s} {'true (us)':>10s} {'pred (us)':>10s} {'err':>7s}")
+    for name, t, p in zip(dataset.config_names, true, predicted):
+        print(f"{name:24s} {t / 1e4:10.2f} {p / 1e4:10.2f} "
+              f"{abs(p - t) / t:7.1%}")
+    print(f"\nmean error: {abs_rel_error(predicted, true).mean():.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Generality demo: predict a program the model never saw.
+
+The paper's key claim: once the foundation model is trained, *any* program
+compiled to the ISA can be represented by summing the representations of
+its executed instructions — no retraining.  Here the model trains on four
+benchmarks and predicts two completely different ones (505.mcf's pointer
+chasing and 519.lbm's lattice streaming).
+"""
+
+import numpy as np
+
+from repro.core.errors import error_summary
+from repro.core.training import FoundationTrainConfig, train_foundation
+from repro.features.dataset import build_dataset
+from repro.uarch import sample_configs
+
+TRAIN = ["525.x264", "544.nab", "557.xz", "999.specrand"]
+UNSEEN = ["505.mcf", "519.lbm"]
+
+
+def main() -> None:
+    configs = sample_configs(n_ooo=5, n_inorder=2, seed=3, include_presets=False)
+    print(f"training on {TRAIN}")
+    train_ds = build_dataset(TRAIN, configs, max_instructions=4000)
+    model, _ = train_foundation(
+        train_ds,
+        FoundationTrainConfig(
+            spec="lstm-1-32", chunk_len=32, batch_size=8, epochs=8, seed=1
+        ),
+    )
+
+    print(f"predicting unseen programs {UNSEEN} (no retraining)\n")
+    unseen_ds = build_dataset(UNSEEN, configs, max_instructions=4000)
+    for name in UNSEEN:
+        feats, targets = unseen_ds.segment(name)
+        predicted = model.predict_program_times(feats, chunk_len=32)
+        true = targets.astype(np.float64).sum(axis=0)
+        summary = error_summary(predicted, true)
+        print(f"{name}: {summary.row()}")
+    print(
+        "\nThe foundation model generalizes because every program is a "
+        "combination of the same instructions (paper Sec. III-B)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+``pip install -e .`` (PEP 660) cannot build. ``python setup.py develop``
+performs the equivalent editable install; all metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,22 @@
+"""PerfVec reproduction.
+
+A from-scratch, NumPy-only reproduction of *Learning Generalizable Program
+and Architecture Representations for Performance Modeling* (Li, Flynn,
+Hoisie — SC 2024): the PerfVec framework plus every substrate it depends on
+(mini-ISA + functional VM, SPEC-like workload suite, cycle-level CPU timing
+simulator, microarchitecture-independent feature extraction, a small deep
+learning framework, baselines, and the full experiment harness).
+
+Quick start::
+
+    from repro.workloads import suite
+    from repro.uarch import presets, sampling
+    from repro.sim import CPUSimulator
+    from repro.core import PerfVec
+
+See ``README.md`` and ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

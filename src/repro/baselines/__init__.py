@@ -1,0 +1,34 @@
+"""Baseline performance models the paper compares against (Tables III-IV).
+
+* :mod:`~repro.baselines.ithemal` — basic-block LSTM throughput model
+  (Ithemal [39]); per-microarchitecture, basic blocks only.
+* :mod:`~repro.baselines.simnet` — per-instruction latency model over
+  *microarchitecture-dependent* features (SimNet [37]); handles whole
+  programs but must re-extract features and re-predict per target config.
+* :mod:`~repro.baselines.program_specific` — Ipek-style MLP (config
+  parameters -> program time), one model per program [28].
+* :mod:`~repro.baselines.cross_program` — Dubach-style transferable linear
+  predictor using a program signature measured on a few canonical
+  configurations [21].
+* :mod:`~repro.baselines.actboost` — AdaBoost.R2 over in-house regression
+  trees with stratified sampling (ActBoost [36]).
+"""
+
+from repro.baselines.trees import RegressionTree
+from repro.baselines.actboost import AdaBoostR2
+from repro.baselines.program_specific import ProgramSpecificMLP
+from repro.baselines.cross_program import CrossProgramPredictor
+from repro.baselines.ithemal import BasicBlock, IthemalModel, extract_basic_blocks
+from repro.baselines.simnet import SimNetModel, simnet_features
+
+__all__ = [
+    "RegressionTree",
+    "AdaBoostR2",
+    "ProgramSpecificMLP",
+    "CrossProgramPredictor",
+    "BasicBlock",
+    "IthemalModel",
+    "extract_basic_blocks",
+    "SimNetModel",
+    "simnet_features",
+]

@@ -1,0 +1,92 @@
+"""Cross-program (transferable) predictor (Dubach et al., MICRO'07 [21]).
+
+The architecture-centric idea: train a *shared* linear model over
+microarchitecture parameters augmented with a per-program *signature* — the
+program's measured times on a small set of canonical configurations.  A new
+program then only needs those few signature runs instead of a full training
+sweep, "which reduce the required training data volume, but the limited
+generality issue persists" (the signature runs are still simulations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uarch.config import MicroarchConfig
+
+
+class CrossProgramPredictor:
+    """Ridge regression over [uarch params, program signature, interactions]."""
+
+    def __init__(self, n_signature: int = 3, ridge: float = 1e-3):
+        if n_signature < 1:
+            raise ValueError("need at least one signature configuration")
+        self.n_signature = n_signature
+        self.ridge = ridge
+        self._weights: np.ndarray | None = None
+        self._signature_indices: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _params(configs: list[MicroarchConfig]) -> np.ndarray:
+        return np.stack([c.to_feature_vector() for c in configs]).astype(np.float64)
+
+    def _design(self, params: np.ndarray, signature: np.ndarray) -> np.ndarray:
+        """One row per config: [1, params, signature, params x mean(sig)]."""
+        n = len(params)
+        sig = np.broadcast_to(signature, (n, len(signature)))
+        interaction = params * signature.mean()
+        return np.concatenate(
+            [np.ones((n, 1)), params, sig, interaction], axis=1
+        )
+
+    def signature_of(self, times: np.ndarray) -> np.ndarray:
+        """A program's signature: its (log) times on the signature configs."""
+        if self._signature_indices is None:
+            raise RuntimeError("model not fitted")
+        return np.log(np.asarray(times, dtype=np.float64)[self._signature_indices])
+
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        configs: list[MicroarchConfig],
+        times_per_program: dict[str, np.ndarray],
+        signature_indices: list[int] | None = None,
+    ) -> "CrossProgramPredictor":
+        """Train on several programs' full (config -> time) responses."""
+        if signature_indices is None:
+            signature_indices = list(range(self.n_signature))
+        if len(signature_indices) != self.n_signature:
+            raise ValueError("signature index count mismatch")
+        self._signature_indices = list(signature_indices)
+        params = self._params(configs)
+        rows = []
+        targets = []
+        for times in times_per_program.values():
+            times = np.asarray(times, dtype=np.float64)
+            if len(times) != len(configs):
+                raise ValueError("every program needs one time per config")
+            signature = self.signature_of(times)
+            rows.append(self._design(params, signature))
+            targets.append(np.log(times))
+        design = np.concatenate(rows, axis=0)
+        target = np.concatenate(targets)
+        gram = design.T @ design + self.ridge * np.eye(design.shape[1])
+        self._weights = np.linalg.solve(gram, design.T @ target)
+        return self
+
+    def predict(
+        self, configs: list[MicroarchConfig], signature_times: np.ndarray
+    ) -> np.ndarray:
+        """Predict a (possibly unseen) program's times on ``configs``.
+
+        ``signature_times`` are the program's measured times on the
+        signature configurations, in the order given at fit time.
+        """
+        if self._weights is None:
+            raise RuntimeError("model not fitted")
+        signature = np.log(np.asarray(signature_times, dtype=np.float64))
+        if len(signature) != self.n_signature:
+            raise ValueError("signature length mismatch")
+        design = self._design(self._params(configs), signature)
+        return np.exp(design @ self._weights)

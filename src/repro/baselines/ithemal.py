@@ -1,0 +1,128 @@
+"""Ithemal-style basic-block throughput model (Mendis et al., ICML'19 [39]).
+
+Predicts the latency of *static basic blocks* — "they can only deal with
+basic blocks with a handful of instructions" (paper Sec. V-C) — from the
+opcode sequence alone, with a learned opcode embedding feeding an LSTM.
+One model per microarchitecture (no cross-uarch generality), and no
+dynamic memory/branch context ("taking only textual traces also makes them
+not suitable to predict performance in real systems with complex memory
+behavior").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.opcodes import NUM_OPCODES
+from repro.ml.autograd import Tensor, mse_loss
+from repro.ml.layers import Linear, Module
+from repro.ml.optim import Adam
+from repro.ml.recurrent import LSTM
+from repro.vm.trace import Trace
+
+
+@dataclass(frozen=True)
+class BasicBlock:
+    """A dynamic basic-block occurrence: opcode ids + its measured latency."""
+
+    opcodes: tuple[int, ...]
+    latency: float  # summed incremental latency, 0.1 ns ticks
+
+    def __len__(self) -> int:
+        return len(self.opcodes)
+
+
+def extract_basic_blocks(
+    trace: Trace,
+    latencies: np.ndarray,
+    max_len: int = 16,
+) -> list[BasicBlock]:
+    """Cut a trace into dynamic basic blocks (ending at control transfers).
+
+    Blocks longer than ``max_len`` are truncated — mirroring the baseline's
+    "handful of instructions" limitation.
+    """
+    if len(latencies) != len(trace):
+        raise ValueError("latencies must align with the trace")
+    blocks: list[BasicBlock] = []
+    is_branch = trace.is_branch
+    ops = trace.opid.tolist()
+    lat = latencies.tolist()
+    branch_flags = is_branch.tolist()
+    current_ops: list[int] = []
+    current_lat = 0.0
+    for i in range(len(trace)):
+        current_ops.append(ops[i])
+        current_lat += lat[i]
+        if branch_flags[i] or len(current_ops) >= max_len:
+            blocks.append(BasicBlock(tuple(current_ops), current_lat))
+            current_ops = []
+            current_lat = 0.0
+    if current_ops:
+        blocks.append(BasicBlock(tuple(current_ops), current_lat))
+    return blocks
+
+
+class IthemalModel(Module):
+    """Opcode embedding + LSTM + linear head -> block latency (per uarch)."""
+
+    def __init__(self, embed_dim: int = 16, hidden: int = 32, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.embedding = Tensor(
+            rng.normal(scale=0.1, size=(NUM_OPCODES, embed_dim)).astype(np.float32),
+            requires_grad=True,
+        )
+        self.lstm = LSTM(embed_dim, hidden, num_layers=1, rng=rng)
+        self.head = Linear(hidden, 1, rng=rng)
+        self._scale = 1.0
+
+    def _forward_padded(self, op_matrix: np.ndarray, lengths: np.ndarray) -> Tensor:
+        """(B, Lmax) padded opcode ids -> (B,) predicted latency."""
+        embedded = self.embedding[op_matrix.reshape(-1)]
+        batch, max_len = op_matrix.shape
+        embedded = embedded.reshape(batch, max_len, -1)
+        outputs, _ = self.lstm(embedded)
+        # gather the output at each block's true last position
+        last = outputs[np.arange(batch), lengths - 1, :]
+        return self.head(last)[:, 0]
+
+    @staticmethod
+    def _pad(blocks: list[BasicBlock]) -> tuple[np.ndarray, np.ndarray]:
+        lengths = np.array([len(b) for b in blocks], dtype=np.int64)
+        max_len = int(lengths.max())
+        ops = np.zeros((len(blocks), max_len), dtype=np.int64)
+        for i, b in enumerate(blocks):
+            ops[i, : len(b)] = b.opcodes
+        return ops, lengths
+
+    def fit(self, blocks: list[BasicBlock], epochs: int = 60,
+            batch_size: int = 64, lr: float = 5e-3, seed: int = 0
+            ) -> "IthemalModel":
+        if not blocks:
+            raise ValueError("no training blocks")
+        ops, lengths = self._pad(blocks)
+        targets = np.array([b.latency for b in blocks], dtype=np.float64)
+        self._scale = float(targets.mean()) or 1.0
+        y = (targets / self._scale).astype(np.float32)
+        rng = np.random.default_rng(seed)
+        optimizer = Adam(self.parameters(), lr=lr)
+        for _ in range(epochs):
+            order = rng.permutation(len(blocks))
+            for start in range(0, len(blocks), batch_size):
+                idx = order[start : start + batch_size]
+                optimizer.zero_grad()
+                preds = self._forward_padded(ops[idx], lengths[idx])
+                loss = mse_loss(preds, y[idx])
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def predict(self, blocks: list[BasicBlock]) -> np.ndarray:
+        if not blocks:
+            return np.zeros(0)
+        ops, lengths = self._pad(blocks)
+        preds = self._forward_padded(ops, lengths)
+        return preds.data.astype(np.float64) * self._scale

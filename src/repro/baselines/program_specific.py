@@ -1,0 +1,59 @@
+"""Program-specific MLP predictor (Ipek et al., ASPLOS'06 [28]).
+
+One network per program: microarchitecture parameters in, execution time
+out.  "They come at the cost that numerous runs/simulations are required
+... whenever encountering a new program" — which is exactly the overhead
+Table IV charges this baseline for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.autograd import Tensor, mse_loss
+from repro.ml.layers import MLP
+from repro.ml.optim import Adam
+from repro.uarch.config import MicroarchConfig
+
+
+class ProgramSpecificMLP:
+    """config parameter vector -> normalized execution time, per program."""
+
+    def __init__(self, hidden: int = 32, layers: int = 2, epochs: int = 500,
+                 lr: float = 5e-3, seed: int = 0):
+        self.hidden = hidden
+        self.layers = layers
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self._net: MLP | None = None
+        self._scale = 1.0
+
+    @staticmethod
+    def encode(configs: list[MicroarchConfig]) -> np.ndarray:
+        return np.stack([c.to_feature_vector() for c in configs])
+
+    def fit(self, configs: list[MicroarchConfig], times: np.ndarray
+            ) -> "ProgramSpecificMLP":
+        x = self.encode(configs)
+        times = np.asarray(times, dtype=np.float64)
+        if len(x) != len(times):
+            raise ValueError("configs/times mismatch")
+        self._scale = float(times.mean()) or 1.0
+        y = (times / self._scale).astype(np.float32)[:, None]
+        sizes = [x.shape[1]] + [self.hidden] * (self.layers - 1) + [1]
+        self._net = MLP(sizes, rng=np.random.default_rng(self.seed))
+        optimizer = Adam(self._net.parameters(), lr=self.lr)
+        xt = Tensor(x.astype(np.float32))
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            loss = mse_loss(self._net(xt), y)
+            loss.backward()
+            optimizer.step()
+        return self
+
+    def predict(self, configs: list[MicroarchConfig]) -> np.ndarray:
+        if self._net is None:
+            raise RuntimeError("model not fitted")
+        x = Tensor(self.encode(configs))
+        return self._net(x).data[:, 0].astype(np.float64) * self._scale

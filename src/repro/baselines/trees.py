@@ -1,0 +1,128 @@
+"""CART regression trees (the weak learner for ActBoost).
+
+Variance-reduction splits on continuous features, depth- and leaf-size
+bounded.  Split search is vectorized per feature (sorted prefix sums), so
+fitting stays fast without any external ML dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+class RegressionTree:
+    """CART regressor with MSE splits."""
+
+    def __init__(self, max_depth: int = 4, min_leaf: int = 2):
+        if max_depth < 1 or min_leaf < 1:
+            raise ValueError("max_depth and min_leaf must be >= 1")
+        self.max_depth = max_depth
+        self.min_leaf = min_leaf
+        self._root: _Node | None = None
+
+    # ------------------------------------------------------------------
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            sample_weight: np.ndarray | None = None) -> "RegressionTree":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 1 or len(x) != len(y):
+            raise ValueError("x must be (n, f) and y (n,)")
+        if sample_weight is None:
+            sample_weight = np.ones(len(y))
+        sample_weight = np.asarray(sample_weight, dtype=np.float64)
+        self._root = self._build(x, y, sample_weight, depth=0)
+        return self
+
+    def _best_split(self, x, y, w):
+        best_gain = 0.0
+        best = None
+        total_w = w.sum()
+        total_wy = (w * y).sum()
+        base_sse = (w * y * y).sum() - total_wy**2 / total_w
+        for f in range(x.shape[1]):
+            order = np.argsort(x[:, f], kind="stable")
+            xs = x[order, f]
+            ws = w[order]
+            wys = ws * y[order]
+            wyy = wys * y[order]
+            cw = np.cumsum(ws)
+            cwy = np.cumsum(wys)
+            cwyy = np.cumsum(wyy)
+            # candidate split after position i (left = [0..i])
+            valid = np.flatnonzero(xs[:-1] < xs[1:])
+            if len(valid) == 0:
+                continue
+            lw = cw[valid]
+            lwy = cwy[valid]
+            lyy = cwyy[valid]
+            rw = total_w - lw
+            rwy = total_wy - lwy
+            ryy = cwyy[-1] - lyy
+            with np.errstate(invalid="ignore", divide="ignore"):
+                sse = (lyy - lwy**2 / lw) + (ryy - rwy**2 / rw)
+            counts = valid + 1
+            ok = (counts >= self.min_leaf) & (len(y) - counts >= self.min_leaf)
+            if not ok.any():
+                continue
+            sse = np.where(ok, sse, np.inf)
+            i = int(np.argmin(sse))
+            gain = base_sse - sse[i]
+            if gain > best_gain + 1e-12:
+                best_gain = gain
+                threshold = 0.5 * (xs[valid[i]] + xs[valid[i] + 1])
+                best = (f, threshold)
+        return best
+
+    def _build(self, x, y, w, depth) -> _Node:
+        node = _Node(value=float(np.average(y, weights=w)))
+        if depth >= self.max_depth or len(y) < 2 * self.min_leaf:
+            return node
+        if float(y.max() - y.min()) == 0.0:
+            return node
+        split = self._best_split(x, y, w)
+        if split is None:
+            return node
+        f, threshold = split
+        mask = x[:, f] <= threshold
+        node.feature = f
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], w[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], w[~mask], depth + 1)
+        return node
+
+    # ------------------------------------------------------------------
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        out = np.empty(len(x))
+        for i, row in enumerate(x):
+            node = self._root
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+    @property
+    def depth(self) -> int:
+        def walk(node):
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

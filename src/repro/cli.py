@@ -1,0 +1,110 @@
+"""Command-line interface: ``repro`` / ``python -m repro``.
+
+Subcommands::
+
+    repro list                      # available experiments and scales
+    repro run fig3_seen_unseen      # one experiment (default scale: bench)
+    repro run-all --scale bench     # every experiment, saving JSON results
+    repro bench-suite --scale bench # trace + simulate the whole suite once
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.experiments import EXPERIMENTS, SCALES
+
+    print("experiments:")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    print("scales:", ", ".join(SCALES))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments import run_experiment
+
+    result = run_experiment(args.experiment, scale=args.scale)
+    print(result.render())
+    if args.save:
+        path = result.save()
+        print(f"saved: {path}")
+    return 0
+
+
+def _cmd_run_all(args) -> int:
+    from repro.experiments import EXPERIMENTS, run_experiment
+
+    failures = []
+    for name in EXPERIMENTS:
+        print(f"\n### {name} (scale={args.scale})")
+        try:
+            result = run_experiment(name, scale=args.scale)
+        except Exception as exc:  # keep going; report at the end
+            print(f"FAILED: {exc}")
+            failures.append(name)
+            continue
+        print(result.render())
+        print(f"saved: {result.save()}")
+    if failures:
+        print(f"\nfailed experiments: {failures}")
+        return 1
+    return 0
+
+
+def _cmd_bench_suite(args) -> int:
+    import time
+
+    from repro.experiments.common import get_scale, seen_configs
+    from repro.features.dataset import build_dataset
+    from repro.workloads import ALL_BENCHMARKS
+
+    cfg = get_scale(args.scale)
+    start = time.perf_counter()
+    ds = build_dataset(
+        list(ALL_BENCHMARKS), seen_configs(cfg), cfg.instructions
+    )
+    elapsed = time.perf_counter() - start
+    total = len(ds) * ds.num_configs
+    print(
+        f"suite dataset: {len(ds):,} rows x {ds.num_configs} uarchs "
+        f"({total:,} instruction-simulations) in {elapsed:.1f}s"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PerfVec reproduction experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments and scales")
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment")
+    p_run.add_argument("--scale", default="bench")
+    p_run.add_argument("--save", action="store_true")
+
+    p_all = sub.add_parser("run-all", help="run every experiment")
+    p_all.add_argument("--scale", default="bench")
+
+    p_suite = sub.add_parser("bench-suite", help="build the full suite dataset")
+    p_suite.add_argument("--scale", default="bench")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "run-all": _cmd_run_all,
+        "bench-suite": _cmd_bench_suite,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

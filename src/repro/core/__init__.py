@@ -1,0 +1,46 @@
+"""PerfVec core: the paper's primary contribution.
+
+* :mod:`~repro.core.foundation` — the instruction representation model
+  (the *foundation model*), with the architecture registry swept by Fig. 6
+  (``lstm-2-256``, ``gru-2-256``, ``transformer-2-256``, ...).
+* :mod:`~repro.core.predictor` — the learnable microarchitecture
+  representation table and the bias-free linear latency predictor.
+* :mod:`~repro.core.perfvec` — the combined model; program representations
+  composed by summing instruction representations (Sec. III-B).
+* :mod:`~repro.core.training` — foundation training with microarchitecture
+  sampling + instruction representation reuse (Sec. IV).
+* :mod:`~repro.core.finetune` — unseen-microarchitecture representation
+  learning with a frozen foundation (Sec. V-A).
+* :mod:`~repro.core.uarch_model` — the parametric microarchitecture
+  representation model used in DSE (Sec. VI-A).
+* :mod:`~repro.core.dse` — the cache design-space-exploration workflow.
+* :mod:`~repro.core.errors` — the paper's prediction-error metrics.
+"""
+
+from repro.core.foundation import Foundation, make_foundation, parse_spec
+from repro.core.predictor import MicroarchTable, TICK_SCALE
+from repro.core.perfvec import PerfVec
+from repro.core.training import train_foundation, naive_training_step_cost
+from repro.core.finetune import fit_table_least_squares, learn_unseen_uarch_table
+from repro.core.uarch_model import UarchModel, train_uarch_model
+from repro.core.errors import abs_rel_error, error_summary
+from repro.core.dse import CacheDSE, cache_objective
+
+__all__ = [
+    "Foundation",
+    "make_foundation",
+    "parse_spec",
+    "MicroarchTable",
+    "TICK_SCALE",
+    "PerfVec",
+    "train_foundation",
+    "naive_training_step_cost",
+    "fit_table_least_squares",
+    "learn_unseen_uarch_table",
+    "UarchModel",
+    "train_uarch_model",
+    "abs_rel_error",
+    "error_summary",
+    "CacheDSE",
+    "cache_objective",
+]

@@ -1,0 +1,110 @@
+"""Cache design-space exploration (paper Sec. VI-A, Fig. 7, Table IV).
+
+The paper's case study: explore L1D (4-128 kB) x L2 (256 kB - 8 MB) around
+an ARM Cortex-A7-like core, minimizing the objective
+
+    (1000 + 10 * L1_kB + L2_kB) * execution_time
+
+("the optimal cache capacities that minimize the total chip footprint
+without significant performance loss").  The PerfVec workflow: simulate a
+few programs on a *sampled subset* of the space, train a parametric
+microarchitecture model on that tuning data, then predict the whole grid
+for every program with dot products.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.uarch.config import MicroarchConfig
+
+#: Paper grid: both dimensions powers of two.
+DEFAULT_L1_SIZES = (4, 8, 16, 32, 64, 128)
+DEFAULT_L2_SIZES = (256, 512, 1024, 2048, 4096, 8192)
+
+
+def cache_objective(l1_kb: int, l2_kb: int, exec_time: float) -> float:
+    """The paper's chip-footprint-times-time objective."""
+    return (1000.0 + 10.0 * l1_kb + l2_kb) * exec_time
+
+
+@dataclass(frozen=True)
+class RankQuality:
+    """How good is the design a method picked, vs exhaustive ground truth."""
+
+    chosen_index: int
+    rank: int  # 1 = optimal
+    frac_better: float  # fraction of designs strictly better (paper's metric)
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.rank == 1
+
+    def within_top(self, k: int) -> bool:
+        return self.rank <= k
+
+
+class CacheDSE:
+    """The L1D x L2 grid around a base microarchitecture."""
+
+    def __init__(
+        self,
+        base: MicroarchConfig,
+        l1_sizes: tuple[int, ...] = DEFAULT_L1_SIZES,
+        l2_sizes: tuple[int, ...] = DEFAULT_L2_SIZES,
+    ):
+        if not l1_sizes or not l2_sizes:
+            raise ValueError("empty design space")
+        self.base = base
+        self.l1_sizes = tuple(l1_sizes)
+        self.l2_sizes = tuple(l2_sizes)
+        self.grid: list[tuple[int, int]] = [
+            (l1, l2) for l1 in self.l1_sizes for l2 in self.l2_sizes
+        ]
+        self.configs: list[MicroarchConfig] = [
+            base.with_cache_sizes(l1d_kb=l1, l2_kb=l2) for l1, l2 in self.grid
+        ]
+
+    def __len__(self) -> int:
+        return len(self.grid)
+
+    def sample_configs(self, count: int, seed: int = 0) -> list[int]:
+        """Indices of a random tuning subset of the grid (no replacement)."""
+        if not 1 <= count <= len(self.grid):
+            raise ValueError("count out of range")
+        rng = np.random.default_rng(seed)
+        return sorted(rng.choice(len(self.grid), size=count, replace=False).tolist())
+
+    def objective_values(self, times: np.ndarray) -> np.ndarray:
+        """Objective per grid point given execution times (same order)."""
+        times = np.asarray(times, dtype=np.float64)
+        if times.shape[-1] != len(self.grid):
+            raise ValueError("times must have one entry per grid point")
+        areas = np.array(
+            [1000.0 + 10.0 * l1 + l2 for l1, l2 in self.grid], dtype=np.float64
+        )
+        return times * areas
+
+    def objective_surface(self, times: np.ndarray) -> np.ndarray:
+        """Objective reshaped to (len(l1_sizes), len(l2_sizes)) — Fig. 7."""
+        return self.objective_values(times).reshape(
+            len(self.l1_sizes), len(self.l2_sizes)
+        )
+
+    @staticmethod
+    def rank_quality(
+        predicted_objective: np.ndarray, true_objective: np.ndarray
+    ) -> RankQuality:
+        """Judge the design chosen from predictions against ground truth."""
+        predicted_objective = np.asarray(predicted_objective, dtype=np.float64)
+        true_objective = np.asarray(true_objective, dtype=np.float64)
+        if predicted_objective.shape != true_objective.shape:
+            raise ValueError("shape mismatch")
+        chosen = int(predicted_objective.argmin())
+        better = int((true_objective < true_objective[chosen]).sum())
+        return RankQuality(
+            chosen_index=chosen, rank=better + 1,
+            frac_better=better / len(true_objective),
+        )

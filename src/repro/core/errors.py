@@ -1,0 +1,46 @@
+"""Prediction-error metrics used throughout the evaluation (Figs. 3-6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def abs_rel_error(predicted: np.ndarray, true: np.ndarray) -> np.ndarray:
+    """Element-wise absolute relative error ``|pred - true| / true``."""
+    predicted = np.asarray(predicted, dtype=np.float64)
+    true = np.asarray(true, dtype=np.float64)
+    if predicted.shape != true.shape:
+        raise ValueError("shape mismatch")
+    if np.any(true <= 0):
+        raise ValueError("true values must be positive")
+    return np.abs(predicted - true) / true
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """The paper's per-program error statistics across microarchitectures
+    (Fig. 3's dots, orange caps and blue caps)."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    def row(self) -> str:
+        return (
+            f"mean={self.mean:6.2%}  std={self.std:6.2%}  "
+            f"min={self.min:6.2%}  max={self.max:6.2%}"
+        )
+
+
+def error_summary(predicted: np.ndarray, true: np.ndarray) -> ErrorSummary:
+    """Summarize prediction errors across one program's microarchitectures."""
+    err = abs_rel_error(predicted, true)
+    return ErrorSummary(
+        mean=float(err.mean()),
+        std=float(err.std()),
+        min=float(err.min()),
+        max=float(err.max()),
+    )

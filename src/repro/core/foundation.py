@@ -1,0 +1,143 @@
+"""The instruction representation (foundation) model.
+
+Maps a stream of 51-feature instruction rows to d-dimensional instruction
+representations ``R_i``.  The architecture registry covers everything the
+paper's Fig. 6 ablation sweeps: linear regression, per-instruction MLP,
+GRU, unidirectional/bidirectional LSTM and a causal Transformer encoder,
+at any depth/width via the spec string ``"<arch>-<layers>-<dim>"``
+(e.g. the paper's default ``"lstm-2-256"``).
+
+Context handling: the paper gives each instruction ``c = 255`` predecessors
+of context.  Here the stream is processed in contiguous chunks with fresh
+recurrent state per chunk, so the chunk length plays the role of ``c`` —
+instructions late in a chunk see up to ``chunk_len - 1`` predecessors.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.encoder import NUM_FEATURES
+from repro.ml.attention import TransformerEncoder
+from repro.ml.autograd import Tensor
+from repro.ml.layers import Linear, MLP, Module
+from repro.ml.recurrent import GRU, LSTM
+
+_SPEC_RE = re.compile(r"^(linear|mlp|gru|lstm|bilstm|transformer)-(\d+)-(\d+)$")
+
+
+@dataclass(frozen=True)
+class FoundationSpec:
+    arch: str
+    layers: int
+    dim: int
+
+    @property
+    def name(self) -> str:
+        return f"{self.arch}-{self.layers}-{self.dim}"
+
+
+def parse_spec(spec: str) -> FoundationSpec:
+    """Parse an architecture spec like ``"lstm-2-256"``."""
+    match = _SPEC_RE.match(spec.strip().lower())
+    if not match:
+        raise ValueError(
+            f"bad foundation spec {spec!r}; expected '<arch>-<layers>-<dim>' "
+            "with arch in linear/mlp/gru/lstm/bilstm/transformer"
+        )
+    arch, layers, dim = match.group(1), int(match.group(2)), int(match.group(3))
+    if layers < 1 or dim < 1:
+        raise ValueError("layers and dim must be positive")
+    return FoundationSpec(arch, layers, dim)
+
+
+class _PerPosition(Module):
+    """Context-free cores (linear / MLP) lifted to (B, T, F) streams."""
+
+    def __init__(self, net: Module, dim: int):
+        super().__init__()
+        self.net = net
+        self.dim = dim
+
+    @property
+    def output_size(self) -> int:
+        return self.dim
+
+    def initial_state(self, batch: int):
+        return None
+
+    def forward(self, x: Tensor, state=None):
+        batch, time, feat = x.shape
+        flat = x.reshape(batch * time, feat)
+        out = self.net(flat)
+        return out.reshape(batch, time, self.dim), None
+
+
+class Foundation(Module):
+    """Sequence core + (optional) projection to the representation space."""
+
+    def __init__(self, spec: FoundationSpec, input_size: int = NUM_FEATURES,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.spec = spec
+        self.input_size = input_size
+        self.dim = spec.dim
+        arch = spec.arch
+        if arch == "linear":
+            self.core = _PerPosition(
+                Linear(input_size, spec.dim, rng=rng), spec.dim
+            )
+        elif arch == "mlp":
+            sizes = [input_size] + [spec.dim] * spec.layers
+            self.core = _PerPosition(MLP(sizes, rng=rng), spec.dim)
+        elif arch == "gru":
+            self.core = GRU(input_size, spec.dim, num_layers=spec.layers, rng=rng)
+        elif arch == "lstm":
+            self.core = LSTM(input_size, spec.dim, num_layers=spec.layers, rng=rng)
+        elif arch == "bilstm":
+            self.core = LSTM(
+                input_size, spec.dim, num_layers=spec.layers,
+                bidirectional=True, rng=rng,
+            )
+        elif arch == "transformer":
+            heads = 4 if spec.dim % 4 == 0 else 2 if spec.dim % 2 == 0 else 1
+            self.core = TransformerEncoder(
+                input_size, spec.dim, num_layers=spec.layers, num_heads=heads,
+                rng=rng,
+            )
+        else:  # pragma: no cover - parse_spec guards
+            raise ValueError(arch)
+        # project non-d-sized core outputs (biLSTM doubles) down to dim
+        if self.core.output_size != spec.dim:
+            self.proj = Linear(self.core.output_size, spec.dim, bias=False, rng=rng)
+        else:
+            self.proj = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def initial_state(self, batch: int):
+        return self.core.initial_state(batch)
+
+    def forward(self, x: Tensor, state=None):
+        """(B, T, 51) -> instruction representations (B, T, d), new state."""
+        reps, new_state = self.core(x, state)
+        if self.proj is not None:
+            reps = self.proj(reps)
+        return reps, new_state
+
+
+def make_foundation(
+    spec: str | FoundationSpec,
+    input_size: int = NUM_FEATURES,
+    seed: int = 0,
+) -> Foundation:
+    """Build a foundation model from a spec string (seeded)."""
+    if isinstance(spec, str):
+        spec = parse_spec(spec)
+    return Foundation(spec, input_size=input_size, rng=np.random.default_rng(seed))

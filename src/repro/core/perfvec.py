@@ -1,0 +1,108 @@
+"""The combined PerfVec model.
+
+``PerfVec = foundation (instruction representations) + microarchitecture
+table + bias-free linear predictor``.  The compositional property (Sec.
+III-B) gives the two inference modes:
+
+* *per-instruction*: ``t_i^j = R_i · M_j`` — detailed analysis;
+* *per-program*: ``T^j = (Σ_i R_i) · M_j`` — a program representation is
+  the **sum** of its instruction representations, computed once and reused
+  for every microarchitecture.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.foundation import Foundation
+from repro.core.predictor import MicroarchTable, TICK_SCALE
+from repro.ml.autograd import Tensor, no_grad
+from repro.ml.layers import Module
+
+
+class PerfVec(Module):
+    """Foundation + microarchitecture table."""
+
+    def __init__(self, foundation: Foundation, table: MicroarchTable):
+        super().__init__()
+        if foundation.dim != table.dim:
+            raise ValueError("foundation and table dimensionality differ")
+        self.foundation = foundation
+        self.table = table
+
+    # -- training-time forward -------------------------------------------
+    def forward(self, x: Tensor, state=None):
+        """(B, T, F) -> (scaled latency predictions (B, T, k), reps, state)."""
+        reps, new_state = self.foundation(x, state)
+        preds = self.table(reps)
+        return preds, reps, new_state
+
+    # -- inference ----------------------------------------------------------
+    def instruction_representations(
+        self, features: np.ndarray, chunk_len: int = 64, batch_size: int = 64
+    ) -> np.ndarray:
+        """Representations R_i for a feature stream ``[N, F]`` (inference).
+
+        The stream is cut into contiguous chunks (fresh state per chunk,
+        mirroring training); chunks are batched for throughput.  The ragged
+        tail is processed as a final short chunk.  "The representations of
+        all instructions can be generated in parallel" (Sec. III-B) — here
+        parallelism is the batch dimension of one BLAS call.
+        """
+        n, feat = features.shape
+        if n == 0:
+            raise ValueError("empty feature stream")
+        reps_out = np.empty((n, self.foundation.dim), dtype=np.float32)
+        full = (n // chunk_len) * chunk_len
+        with no_grad():
+            self.eval()
+            if full:
+                chunks = features[:full].reshape(-1, chunk_len, feat)
+                for start in range(0, len(chunks), batch_size):
+                    batch = chunks[start : start + batch_size]
+                    reps, _ = self.foundation(Tensor(batch))
+                    reps_out[
+                        start * chunk_len : (start + len(batch)) * chunk_len
+                    ] = reps.data.reshape(-1, self.foundation.dim)
+            if full < n:
+                tail = features[full:][None, :, :]
+                reps, _ = self.foundation(Tensor(tail))
+                reps_out[full:] = reps.data[0]
+        return reps_out
+
+    def program_representation(
+        self, features: np.ndarray, chunk_len: int = 64, batch_size: int = 64
+    ) -> np.ndarray:
+        """Program representation: the sum of instruction representations."""
+        reps = self.instruction_representations(features, chunk_len, batch_size)
+        return reps.astype(np.float64).sum(axis=0)
+
+    # -- prediction ----------------------------------------------------------
+    def predict_latencies(
+        self, features: np.ndarray, chunk_len: int = 64, batch_size: int = 64
+    ) -> np.ndarray:
+        """Per-instruction incremental latencies (0.1 ns ticks), all configs."""
+        reps = self.instruction_representations(features, chunk_len, batch_size)
+        return (reps @ self.table.table.data.T) / TICK_SCALE
+
+    def predict_total_time(
+        self, program_rep: np.ndarray, uarch_rep: np.ndarray | None = None,
+        config_index: int | None = None,
+    ) -> float:
+        """Total execution time (0.1 ns ticks) from representations.
+
+        Exactly one of ``uarch_rep`` / ``config_index`` selects the target
+        microarchitecture.
+        """
+        if (uarch_rep is None) == (config_index is None):
+            raise ValueError("pass exactly one of uarch_rep / config_index")
+        if uarch_rep is None:
+            uarch_rep = self.table.vector(config_index)
+        return float(program_rep @ uarch_rep.astype(np.float64)) / TICK_SCALE
+
+    def predict_program_times(
+        self, features: np.ndarray, chunk_len: int = 64, batch_size: int = 64
+    ) -> np.ndarray:
+        """Total time (ticks) on every sampled microarchitecture at once."""
+        rep = self.program_representation(features, chunk_len, batch_size)
+        return (rep @ self.table.table.data.T.astype(np.float64)) / TICK_SCALE

@@ -1,0 +1,62 @@
+"""Microarchitecture representation table and the linear latency predictor.
+
+The performance predictor is a *bias-free linear model*: the incremental
+latency of instruction ``i`` on microarchitecture ``j`` is the dot product
+``R_i · M_j``.  Sec. III-B of the paper proves that exactly this choice
+makes program representations compositional (``T = (Σ R_i) · M``); the
+test suite verifies the identity to numerical precision.
+
+Microarchitecture *sampling* (Sec. IV-A) replaces a full microarchitecture
+representation model during foundation training with this small learnable
+table of k rows — 77 x 256 = 19.7k parameters in the paper's setup versus
+millions for a parametric model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.autograd import Tensor
+from repro.ml.layers import Module
+
+#: Latency targets are scaled from 0.1 ns ticks into ~O(1) units for MSE
+#: training (predictions are scaled back on the way out).
+TICK_SCALE = 0.1
+
+
+class MicroarchTable(Module):
+    """k learnable microarchitecture representations (k, d)."""
+
+    def __init__(self, num_configs: int, dim: int,
+                 config_names: tuple[str, ...] | None = None,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        if num_configs < 1 or dim < 1:
+            raise ValueError("num_configs and dim must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.num_configs = num_configs
+        self.dim = dim
+        self.config_names = tuple(config_names) if config_names else tuple(
+            f"uarch-{i}" for i in range(num_configs)
+        )
+        if len(self.config_names) != num_configs:
+            raise ValueError("config_names length mismatch")
+        self.table = Tensor(
+            rng.uniform(-0.1, 0.1, size=(num_configs, dim)).astype(np.float32),
+            requires_grad=True,
+        )
+
+    def forward(self, reps: Tensor) -> Tensor:
+        """Predict scaled latencies: (..., d) @ (d, k) -> (..., k).
+
+        A pure dot product — no bias, no activation — per the
+        compositionality requirement.
+        """
+        return reps @ self.table.transpose()
+
+    def vector(self, index: int) -> np.ndarray:
+        """The representation of one sampled microarchitecture."""
+        return self.table.data[index]
+
+    def index_of(self, name: str) -> int:
+        return self.config_names.index(name)

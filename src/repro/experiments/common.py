@@ -1,0 +1,276 @@
+"""Shared experiment infrastructure: scales, model cache, rendering.
+
+Scale presets trade fidelity for runtime:
+
+* ``smoke`` — seconds; used by the test suite.
+* ``bench`` — tens of seconds per experiment; used by ``benchmarks/``.
+* ``paper`` — the documented offline configuration (77 microarchitectures,
+  LSTM-2-256); hours on a CPU box.
+
+Simulation results are cached on disk by :mod:`repro.features.dataset`;
+trained foundation models are cached in-process per (scale, split) so that
+Figs. 3-8 share models exactly as the paper does ("The updated model is
+used in the following experiments").
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.errors import ErrorSummary, error_summary
+from repro.core.perfvec import PerfVec
+from repro.core.training import FoundationTrainConfig, train_foundation
+from repro.features.dataset import TraceDataset, build_dataset
+from repro.ml.trainer import TrainHistory
+from repro.uarch import sample_configs
+from repro.uarch.config import MicroarchConfig
+from repro.workloads import TEST_BENCHMARKS, TRAIN_BENCHMARKS
+
+#: Where experiment JSON results land.
+RESULTS_DIR = "results"
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Knobs that size every experiment."""
+
+    name: str
+    instructions: int  # trace length per benchmark
+    n_ooo: int  # random OoO configs
+    n_inorder: int  # random in-order configs
+    include_presets: bool  # add the 7 predefined configs
+    spec: str  # foundation architecture
+    chunk_len: int  # context window analogue
+    batch_size: int
+    epochs: int
+    ablation_epochs: int  # shorter budget for per-arch sweeps
+    dse_instructions: int  # trace length for DSE studies
+    seed: int = 0
+
+    @property
+    def num_configs(self) -> int:
+        return self.n_ooo + self.n_inorder + (7 if self.include_presets else 0)
+
+
+SCALES: dict[str, ScaleConfig] = {
+    "smoke": ScaleConfig(
+        name="smoke", instructions=2000, n_ooo=4, n_inorder=2,
+        include_presets=False, spec="lstm-1-16", chunk_len=32, batch_size=8,
+        epochs=4, ablation_epochs=2, dse_instructions=2000,
+    ),
+    "bench": ScaleConfig(
+        name="bench", instructions=6000, n_ooo=10, n_inorder=3,
+        include_presets=False, spec="lstm-2-64", chunk_len=48, batch_size=16,
+        epochs=12, ablation_epochs=8, dse_instructions=5000,
+    ),
+    "paper": ScaleConfig(
+        name="paper", instructions=50_000, n_ooo=60, n_inorder=10,
+        include_presets=True, spec="lstm-2-256", chunk_len=128, batch_size=16,
+        epochs=50, ablation_epochs=20, dse_instructions=50_000,
+    ),
+}
+
+
+def get_scale(scale: str | ScaleConfig) -> ScaleConfig:
+    if isinstance(scale, ScaleConfig):
+        return scale
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
+    return SCALES[scale]
+
+
+# ---------------------------------------------------------------------------
+# shared data / model construction (memoized)
+# ---------------------------------------------------------------------------
+_CONFIG_CACHE: dict[str, list[MicroarchConfig]] = {}
+_DATASET_CACHE: dict[tuple, TraceDataset] = {}
+_MODEL_CACHE: dict[tuple, tuple[PerfVec, TrainHistory]] = {}
+
+
+def seen_configs(scale: ScaleConfig) -> list[MicroarchConfig]:
+    """The scale's sampled training ("seen") microarchitectures."""
+    cached = _CONFIG_CACHE.get(scale.name)
+    if cached is None:
+        cached = sample_configs(
+            n_ooo=scale.n_ooo, n_inorder=scale.n_inorder, seed=scale.seed,
+            include_presets=scale.include_presets,
+        )
+        _CONFIG_CACHE[scale.name] = cached
+    return cached
+
+
+def unseen_configs(scale: ScaleConfig, count: int = 10) -> list[MicroarchConfig]:
+    """Fresh random microarchitectures never used in training (Fig. 5)."""
+    configs = sample_configs(
+        n_ooo=max(count - 2, 1), n_inorder=min(2, count - 1),
+        seed=scale.seed + 1000, include_presets=False,
+    )[:count]
+    return [replace(c, name=f"unseen-{i}-{c.name}") for i, c in enumerate(configs)]
+
+
+def benchmark_dataset(
+    scale: ScaleConfig,
+    benchmarks: tuple[str, ...],
+    configs: list[MicroarchConfig] | None = None,
+    instructions: int | None = None,
+) -> TraceDataset:
+    """Cached dataset over ``benchmarks`` x ``configs``."""
+    configs = configs if configs is not None else seen_configs(scale)
+    instructions = instructions or scale.instructions
+    key = (scale.name, tuple(benchmarks), tuple(c.name for c in configs),
+           instructions)
+    ds = _DATASET_CACHE.get(key)
+    if ds is None:
+        ds = build_dataset(list(benchmarks), configs, instructions)
+        _DATASET_CACHE[key] = ds
+    return ds
+
+
+def trained_model(
+    scale: ScaleConfig,
+    train_benchmarks: tuple[str, ...] = TRAIN_BENCHMARKS,
+    spec: str | None = None,
+    epochs: int | None = None,
+) -> tuple[PerfVec, TrainHistory]:
+    """Train (or fetch) the foundation model for a benchmark split."""
+    spec = spec or scale.spec
+    epochs = epochs or scale.epochs
+    key = (scale.name, tuple(train_benchmarks), spec, epochs)
+    cached = _MODEL_CACHE.get(key)
+    if cached is None:
+        dataset = benchmark_dataset(scale, train_benchmarks)
+        config = FoundationTrainConfig(
+            spec=spec, chunk_len=scale.chunk_len, batch_size=scale.batch_size,
+            epochs=epochs, seed=scale.seed,
+        )
+        cached = train_foundation(dataset, config)
+        _MODEL_CACHE[key] = cached
+    return cached
+
+
+def clear_caches() -> None:
+    """Drop all in-process experiment caches (tests)."""
+    _CONFIG_CACHE.clear()
+    _DATASET_CACHE.clear()
+    _MODEL_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# evaluation helpers
+# ---------------------------------------------------------------------------
+def total_time_errors(
+    model: PerfVec,
+    dataset: TraceDataset,
+    chunk_len: int,
+    table: np.ndarray | None = None,
+) -> dict[str, ErrorSummary]:
+    """Per-benchmark total-execution-time error across the dataset's configs.
+
+    ``table`` overrides the model's built-in microarchitecture table (used
+    when evaluating on unseen microarchitectures with a learned table).
+    """
+    from repro.core.predictor import TICK_SCALE
+
+    rows: dict[str, ErrorSummary] = {}
+    uses = table if table is not None else model.table.table.data
+    for name, start, end in dataset.segments:
+        feats = dataset.features[start:end]
+        true_total = dataset.targets[start:end].astype(np.float64).sum(axis=0)
+        prog_rep = model.program_representation(feats, chunk_len=chunk_len)
+        pred_total = (prog_rep @ uses.T.astype(np.float64)) / TICK_SCALE
+        rows[name] = error_summary(pred_total, true_total)
+    return rows
+
+
+def split_label(name: str) -> str:
+    if name in TRAIN_BENCHMARKS:
+        return "seen"
+    if name in TEST_BENCHMARKS:
+        return "unseen"
+    return "extra"
+
+
+# ---------------------------------------------------------------------------
+# result container + rendering
+# ---------------------------------------------------------------------------
+@dataclass
+class ExperimentResult:
+    """Uniform result record: printable and JSON-serializable."""
+
+    experiment: str
+    title: str
+    scale: str
+    headers: list[str]
+    rows: list[list]
+    notes: list[str] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        out = [f"== {self.experiment}: {self.title} (scale={self.scale}) =="]
+        out.append(render_table(self.headers, self.rows))
+        for key, value in sorted(self.metrics.items()):
+            out.append(f"  {key} = {value:.4g}")
+        for note in self.notes:
+            out.append(f"  note: {note}")
+        return "\n".join(out)
+
+    def save(self, results_dir: str = RESULTS_DIR) -> str:
+        os.makedirs(results_dir, exist_ok=True)
+        path = os.path.join(results_dir, f"{self.experiment}_{self.scale}.json")
+        payload = {
+            "experiment": self.experiment,
+            "title": self.title,
+            "scale": self.scale,
+            "headers": self.headers,
+            "rows": self.rows,
+            "notes": self.notes,
+            "metrics": self.metrics,
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+        return path
+
+
+def render_table(headers: list[str], rows: list[list]) -> str:
+    """Plain-text table with per-column widths."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_surface(
+    surface: np.ndarray, row_labels: list[str], col_labels: list[str],
+    title: str,
+) -> str:
+    """6x6-style numeric heatmap (Fig. 7's objective surfaces) with the
+    minimum cell marked."""
+    surface = np.asarray(surface, dtype=np.float64)
+    best = np.unravel_index(surface.argmin(), surface.shape)
+    lines = [title]
+    header = " " * 8 + "  ".join(f"{c:>8s}" for c in col_labels)
+    lines.append(header)
+    for i, label in enumerate(row_labels):
+        cells = []
+        for j in range(surface.shape[1]):
+            mark = "*" if (i, j) == best else " "
+            cells.append(f"{surface[i, j]:8.3g}{mark}")
+        lines.append(f"{label:>6s}  " + " ".join(cells))
+    return "\n".join(lines)

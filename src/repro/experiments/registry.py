@@ -1,0 +1,42 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.experiments import (
+    fig3_seen_unseen,
+    fig4_retrain_lbm,
+    fig5_unseen_uarch,
+    fig6_ablation_arch,
+    fig7_cache_dse,
+    fig8_loop_tiling,
+    sec4b_reuse,
+    sec5b_data_volume,
+    sec5b_features,
+    table3_comparison,
+    table4_dse_methods,
+)
+from repro.experiments.common import ExperimentResult
+
+#: Experiment id -> run callable (ordered as in the paper's evaluation).
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig3_seen_unseen": fig3_seen_unseen.run,
+    "fig4_retrain_lbm": fig4_retrain_lbm.run,
+    "fig5_unseen_uarch": fig5_unseen_uarch.run,
+    "fig6_ablation_arch": fig6_ablation_arch.run,
+    "sec4b_reuse": sec4b_reuse.run,
+    "sec5b_data_volume": sec5b_data_volume.run,
+    "sec5b_features": sec5b_features.run,
+    "table3_comparison": table3_comparison.run,
+    "table4_dse_methods": table4_dse_methods.run,
+    "fig7_cache_dse": fig7_cache_dse.run,
+    "fig8_loop_tiling": fig8_loop_tiling.run,
+}
+
+
+def run_experiment(name: str, scale: str = "bench") -> ExperimentResult:
+    """Run one registered experiment at the given scale."""
+    if name not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[name](scale=scale)

@@ -1,0 +1,38 @@
+"""Microarchitecture-independent instruction features (paper Table I).
+
+51 features per dynamic instruction:
+
+* 15 operation features (class one-hots, direct/indirect branch, barrier),
+* 28 register-slot features (index + category for 8 sources, 6 destinations),
+* 2 execution-behaviour features (fault, branch taken),
+* 4 memory features (stack distances w.r.t. instruction fetch, all data
+  accesses, loads, stores),
+* 2 branch-predictability features (global and local branch entropy).
+
+Everything here is computed from the trace alone — no microarchitecture
+state — which is what lets learned representations transfer across
+microarchitectures (the ablation in Sec. V-B shows error tripling without
+the memory/branch features).
+"""
+
+from repro.features.stack_distance import stack_distances, stack_distances_where
+from repro.features.branch_entropy import branch_entropies
+from repro.features.encoder import (
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    FeatureGroups,
+    encode_trace,
+)
+from repro.features.dataset import TraceDataset, build_dataset
+
+__all__ = [
+    "stack_distances",
+    "stack_distances_where",
+    "branch_entropies",
+    "FEATURE_NAMES",
+    "NUM_FEATURES",
+    "FeatureGroups",
+    "encode_trace",
+    "TraceDataset",
+    "build_dataset",
+]

@@ -1,0 +1,154 @@
+"""Dataset assembly: features plus per-microarchitecture latency targets.
+
+For each benchmark the trace is generated once, features are extracted once,
+and the trace is timed on every sampled microarchitecture — the data-level
+analogue of the paper's "instruction representation reuse" (Sec. IV-B): the
+logical trace does not change with the microarchitecture, so one trace
+serves all k target columns.
+
+Built datasets are cached on disk (npz) keyed by a hash of the benchmark,
+instruction budget, seed and the full microarchitecture descriptions, since
+simulation is by far the most expensive step of every experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.features.encoder import NUM_FEATURES, encode_trace
+from repro.sim import CPUSimulator
+from repro.uarch.config import MicroarchConfig
+from repro.workloads import get_trace
+
+#: Default on-disk cache location (created lazily).
+DEFAULT_CACHE_DIR = os.path.join(".repro_cache", "datasets")
+
+
+@dataclass(frozen=True)
+class TraceDataset:
+    """Features and per-config incremental-latency targets for a benchmark set."""
+
+    features: np.ndarray  # float32 [N, 51]
+    targets: np.ndarray  # float32 [N, k] incremental latencies (0.1 ns)
+    segments: tuple[tuple[str, int, int], ...]  # (benchmark, start, end)
+    config_names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.features.shape[0] != self.targets.shape[0]:
+            raise ValueError("features/targets row mismatch")
+        if self.features.shape[1] != NUM_FEATURES:
+            raise ValueError(f"expected {NUM_FEATURES} features")
+        if self.targets.shape[1] != len(self.config_names):
+            raise ValueError("target columns must match config names")
+
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def num_configs(self) -> int:
+        return self.targets.shape[1]
+
+    @property
+    def benchmark_names(self) -> list[str]:
+        return [name for name, _, _ in self.segments]
+
+    def segment(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """(features, targets) views of one benchmark's rows."""
+        for seg_name, start, end in self.segments:
+            if seg_name == name:
+                return self.features[start:end], self.targets[start:end]
+        raise KeyError(f"benchmark {name!r} not in dataset")
+
+    def select_configs(self, indices) -> "TraceDataset":
+        """Dataset restricted to a subset of microarchitecture columns."""
+        indices = list(indices)
+        return TraceDataset(
+            features=self.features,
+            targets=np.ascontiguousarray(self.targets[:, indices]),
+            segments=self.segments,
+            config_names=tuple(self.config_names[i] for i in indices),
+        )
+
+    def total_times(self) -> dict[str, np.ndarray]:
+        """Per-benchmark true total execution time (0.1 ns ticks) per config."""
+        return {
+            name: self.targets[start:end].astype(np.float64).sum(axis=0)
+            for name, start, end in self.segments
+        }
+
+
+def _config_digest(configs: list[MicroarchConfig]) -> str:
+    text = "\n".join(repr(c) for c in configs)
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def _cache_path(
+    cache_dir: str, name: str, n: int, seed: int | None, digest: str
+) -> str:
+    safe = name.replace(".", "_")
+    return os.path.join(cache_dir, f"{safe}_n{n}_s{seed}_{digest}.npz")
+
+
+def build_benchmark_arrays(
+    name: str,
+    configs: list[MicroarchConfig],
+    max_instructions: int,
+    seed: int | None = None,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+) -> tuple[np.ndarray, np.ndarray]:
+    """(features, targets) for one benchmark, via the on-disk cache."""
+    digest = _config_digest(configs)
+    path = None
+    if cache_dir:
+        path = _cache_path(cache_dir, name, max_instructions, seed, digest)
+        if os.path.exists(path):
+            with np.load(path) as data:
+                return data["features"], data["targets"]
+    trace = get_trace(name, max_instructions, seed=seed)
+    features = encode_trace(trace)
+    targets = np.empty((len(trace), len(configs)), dtype=np.float32)
+    for j, config in enumerate(configs):
+        targets[:, j] = CPUSimulator(config).run(trace).incremental_latencies
+    if path:
+        os.makedirs(cache_dir, exist_ok=True)
+        np.savez_compressed(path, features=features, targets=targets)
+    return features, targets
+
+
+def build_dataset(
+    benchmarks: list[str],
+    configs: list[MicroarchConfig],
+    max_instructions: int,
+    seed: int | None = None,
+    cache_dir: str | None = DEFAULT_CACHE_DIR,
+) -> TraceDataset:
+    """Assemble the full dataset over ``benchmarks`` x ``configs``."""
+    if not benchmarks:
+        raise ValueError("no benchmarks given")
+    if not configs:
+        raise ValueError("no configs given")
+    names = [c.name for c in configs]
+    if len(set(names)) != len(names):
+        raise ValueError("config names must be unique")
+    feature_blocks = []
+    target_blocks = []
+    segments = []
+    cursor = 0
+    for name in benchmarks:
+        features, targets = build_benchmark_arrays(
+            name, configs, max_instructions, seed=seed, cache_dir=cache_dir
+        )
+        feature_blocks.append(features)
+        target_blocks.append(targets)
+        segments.append((name, cursor, cursor + len(features)))
+        cursor += len(features)
+    return TraceDataset(
+        features=np.concatenate(feature_blocks, axis=0),
+        targets=np.concatenate(target_blocks, axis=0),
+        segments=tuple(segments),
+        config_names=tuple(names),
+    )

@@ -1,0 +1,162 @@
+"""The 51-feature instruction encoder (paper Table I).
+
+Feature layout (all float32, roughly normalized to [0, 1]):
+
+====================  =====  ==================================================
+group                 count  contents
+====================  =====  ==================================================
+operation             15     12 op-group one-hots + is_direct_branch +
+                             is_indirect_branch + is_memory_barrier
+register slots        28     (index, category) for 8 source slots and
+                             6 destination slots
+execution behaviour   2      fault, branch taken
+memory                4      log-scaled stack distance w.r.t. instruction
+                             fetch lines, all data lines, load lines, store
+                             lines
+branch predictability 2      global branch entropy, local branch entropy
+====================  =====  ==================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.features.branch_entropy import branch_entropies
+from repro.features.stack_distance import stack_distances, stack_distances_where
+from repro.isa.opcodes import NUM_OPCODES, OPCODE_BY_ID, OpClass
+from repro.isa.registers import NUM_REGS, RegCategory, reg_category
+from repro.vm.trace import Trace
+
+#: Number of features per instruction (Table I).
+NUM_FEATURES = 51
+
+#: Operation one-hot groups (12).
+_OP_GROUPS = [
+    "int_alu", "int_mul", "int_div", "fp_add", "fp_mul", "fp_div",
+    "load", "store", "cond_branch", "uncond_direct", "indirect", "other",
+]
+
+#: Cache-line granularity used for stack-distance keys, in address bits.
+LINE_BITS = 6
+
+#: log2 scale cap for stack distances (2^24 distinct lines ~ any cache).
+_SD_LOG_CAP = 24.0
+
+
+def _group_of(spec) -> int:
+    oc = spec.opclass
+    if oc is OpClass.BRANCH:
+        return _OP_GROUPS.index("cond_branch")
+    if oc in (OpClass.JUMP, OpClass.CALL):
+        return _OP_GROUPS.index("uncond_direct")
+    if oc is OpClass.JUMP_IND:
+        return _OP_GROUPS.index("indirect")
+    if oc is OpClass.LOAD:
+        return _OP_GROUPS.index("load")
+    if oc is OpClass.STORE:
+        return _OP_GROUPS.index("store")
+    if oc.value <= OpClass.FP_DIV.value:
+        return oc.value  # the six compute classes share enum order
+    return _OP_GROUPS.index("other")
+
+
+def _build_op_table() -> np.ndarray:
+    table = np.zeros((NUM_OPCODES, 15), dtype=np.float32)
+    for opid, spec in enumerate(OPCODE_BY_ID):
+        table[opid, _group_of(spec)] = 1.0
+        if spec.is_branch and spec.is_direct:
+            table[opid, 12] = 1.0
+        if spec.is_indirect:
+            table[opid, 13] = 1.0
+        if spec.opclass is OpClass.BARRIER:
+            table[opid, 14] = 1.0
+    return table
+
+
+_OP_TABLE = _build_op_table()
+
+#: Register-category lookup padded so REG_NONE (-1) maps to slot 0.
+_CAT_TABLE = np.array(
+    [RegCategory.NONE] + [reg_category(r) for r in range(NUM_REGS)],
+    dtype=np.float32,
+) / float(max(RegCategory))
+
+_MAX_CAT = float(max(RegCategory))
+
+
+def _feature_names() -> list[str]:
+    names = [f"op_{g}" for g in _OP_GROUPS]
+    names += ["op_direct_branch", "op_indirect_branch", "op_mem_barrier"]
+    for s in range(8):
+        names += [f"src{s}_idx", f"src{s}_cat"]
+    for d in range(6):
+        names += [f"dst{d}_idx", f"dst{d}_cat"]
+    names += ["fault", "branch_taken"]
+    names += ["sd_ifetch", "sd_data", "sd_load", "sd_store"]
+    names += ["entropy_global", "entropy_local"]
+    assert len(names) == NUM_FEATURES
+    return names
+
+
+FEATURE_NAMES: list[str] = _feature_names()
+
+
+class FeatureGroups:
+    """Column index ranges of each Table I group (used by ablations)."""
+
+    operation = slice(0, 15)
+    registers = slice(15, 43)
+    behaviour = slice(43, 45)
+    memory = slice(45, 49)
+    branch = slice(49, 51)
+
+
+def _log_scale_distances(dist: np.ndarray) -> np.ndarray:
+    """Map raw distances to [0, 1]: n/a -> 0, cold -> 1, else log2 scale."""
+    out = np.zeros(len(dist), dtype=np.float32)
+    cold = dist == -1
+    valid = dist >= 0
+    out[valid] = np.log2(1.0 + dist[valid].astype(np.float64)) / _SD_LOG_CAP
+    np.clip(out, 0.0, 1.0, out=out)
+    out[cold] = 1.0
+    return out
+
+
+def encode_trace(trace: Trace) -> np.ndarray:
+    """Encode a trace into the ``[n, 51]`` float32 feature matrix."""
+    n = len(trace)
+    feats = np.zeros((n, NUM_FEATURES), dtype=np.float32)
+
+    # operation features (vectorized table lookup)
+    feats[:, 0:15] = _OP_TABLE[trace.opid]
+
+    # register slots: index scaled by register count, category scaled by max
+    src = trace.src_slots.astype(np.int64)
+    dst = trace.dst_slots.astype(np.int64)
+    feats[:, 15:31:2] = (src + 1).astype(np.float32) / float(NUM_REGS)
+    feats[:, 16:31:2] = _CAT_TABLE[src + 1]
+    feats[:, 31:43:2] = (dst + 1).astype(np.float32) / float(NUM_REGS)
+    feats[:, 32:43:2] = _CAT_TABLE[dst + 1]
+
+    # execution behaviour
+    feats[:, 43] = trace.fault.astype(np.float32)
+    feats[:, 44] = (trace.branch_taken == 1).astype(np.float32)
+
+    # memory: stack distances at line granularity
+    ifetch_lines = trace.pc >> LINE_BITS
+    feats[:, 45] = _log_scale_distances(stack_distances(ifetch_lines))
+    data_lines = trace.mem_addr >> LINE_BITS
+    is_mem = trace.is_mem
+    feats[:, 46] = _log_scale_distances(stack_distances_where(data_lines, is_mem))
+    feats[:, 47] = _log_scale_distances(
+        stack_distances_where(data_lines, trace.is_load)
+    )
+    feats[:, 48] = _log_scale_distances(
+        stack_distances_where(data_lines, trace.is_store)
+    )
+
+    # branch predictability
+    g_col, l_col = branch_entropies(trace)
+    feats[:, 49] = g_col
+    feats[:, 50] = l_col
+    return feats

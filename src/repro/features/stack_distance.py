@@ -1,0 +1,95 @@
+"""Reuse (stack) distance computation.
+
+The stack distance of an access is "the number of unique memory accesses
+between the current and last accesses to the same address" (paper Sec.
+III-C, citing Ding & Zhong).  Accesses with longer stack distances are more
+likely to miss in caches of any size — which is exactly why the feature is
+microarchitecture-independent.
+
+The classic O(n log n) algorithm: a Fenwick tree marks the positions that
+are the *most recent* occurrence of their key; the distance of an access is
+the number of marks strictly between the previous occurrence and now.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Distance reported for cold (first) accesses.
+COLD = -1
+
+
+class _Fenwick:
+    """Fenwick/BIT over fixed positions with +/-1 updates."""
+
+    __slots__ = ("size", "tree")
+
+    def __init__(self, size: int):
+        self.size = size
+        self.tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        tree = self.tree
+        i = index + 1
+        size = self.size
+        while i <= size:
+            tree[i] += delta
+            i += i & -i
+
+    def prefix(self, index: int) -> int:
+        """Sum of marks at positions [0, index]."""
+        tree = self.tree
+        i = index + 1
+        total = 0
+        while i > 0:
+            total += tree[i]
+            i -= i & -i
+        return total
+
+
+def stack_distances(keys) -> np.ndarray:
+    """Per-access stack distance of ``keys`` (any hashable ints).
+
+    Returns an int64 array: ``COLD`` (-1) for first accesses, otherwise the
+    number of distinct keys touched strictly between this access and the
+    previous access to the same key (0 for back-to-back reuse).
+    """
+    keys = np.asarray(keys)
+    n = len(keys)
+    out = np.empty(n, dtype=np.int64)
+    if n == 0:
+        return out
+    fen = _Fenwick(n)
+    add = fen.add
+    prefix = fen.prefix
+    last: dict[int, int] = {}
+    key_list = keys.tolist()
+    for i, k in enumerate(key_list):
+        j = last.get(k)
+        if j is None:
+            out[i] = COLD
+        else:
+            # marks strictly between j and i (positions j+1 .. i-1)
+            out[i] = prefix(i - 1) - prefix(j)
+            add(j, -1)
+        add(i, 1)
+        last[k] = i
+    return out
+
+
+def stack_distances_where(keys, mask) -> np.ndarray:
+    """Stack distances over the subsequence selected by ``mask``.
+
+    Returns a full-length int64 array with ``COLD`` semantics on selected
+    positions and ``-2`` ("not applicable") elsewhere.  Used to compute the
+    load-only and store-only distance columns of Table I.
+    """
+    keys = np.asarray(keys)
+    mask = np.asarray(mask, dtype=bool)
+    if keys.shape != mask.shape:
+        raise ValueError("keys and mask must have equal length")
+    out = np.full(len(keys), -2, dtype=np.int64)
+    idx = np.flatnonzero(mask)
+    if len(idx):
+        out[idx] = stack_distances(keys[idx])
+    return out

@@ -1,0 +1,71 @@
+"""Instruction set architecture for the reproduction substrate.
+
+The paper compiles SPEC CPU2017 to ARMv8 and traces it with gem5.  Offline we
+cannot ship ARM binaries, so this package defines a small RISC-style ISA
+("mini-ASM") with the structural properties PerfVec's feature set (Table I of
+the paper) relies on:
+
+* typed operation classes (int ALU/mul/div, FP add/mul/div, loads, stores,
+  direct/indirect branches, barriers),
+* up to 8 source and 6 destination register slots per instruction,
+* register categories (zero, general, stack pointer, link, float),
+* faults (divide by zero, misalignment) as recordable execution behaviour.
+
+Programs are assembled from text (:class:`~repro.isa.assembler.Assembler`) or
+built programmatically (:class:`~repro.workloads.builders.ProgramBuilder`) and
+executed by :class:`~repro.vm.machine.Machine` to produce microarchitecture-
+independent dynamic traces.
+"""
+
+from repro.isa.registers import (
+    NUM_INT_REGS,
+    NUM_FP_REGS,
+    NUM_REGS,
+    REG_NONE,
+    RegCategory,
+    fp_reg,
+    int_reg,
+    is_fp_reg,
+    reg_category,
+    reg_name,
+    parse_reg,
+)
+from repro.isa.opcodes import (
+    OpClass,
+    OpSpec,
+    OPCODES,
+    OPCODE_IDS,
+    OPCODE_BY_ID,
+    opcode_id,
+)
+from repro.isa.instructions import AddressMode, Instruction
+from repro.isa.program import CODE_BASE, DATA_BASE, Program
+from repro.isa.assembler import Assembler, AssemblyError, assemble
+
+__all__ = [
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "NUM_REGS",
+    "REG_NONE",
+    "RegCategory",
+    "fp_reg",
+    "int_reg",
+    "is_fp_reg",
+    "reg_category",
+    "reg_name",
+    "parse_reg",
+    "OpClass",
+    "OpSpec",
+    "OPCODES",
+    "OPCODE_IDS",
+    "OPCODE_BY_ID",
+    "opcode_id",
+    "AddressMode",
+    "Instruction",
+    "CODE_BASE",
+    "DATA_BASE",
+    "Program",
+    "Assembler",
+    "AssemblyError",
+    "assemble",
+]

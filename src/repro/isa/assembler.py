@@ -1,0 +1,289 @@
+"""Two-pass assembler for the mini-ASM.
+
+Syntax example::
+
+    .data
+    vec:    .space 1024          ; 1024 zero bytes
+    coef:   .double 0.5, 1.5
+    n:      .word 128
+
+    .text
+    main:   movi r1, 0
+            ld   r2, [r0 + n]
+    loop:   fld  f1, [r3 + r1*8]
+            fadd f2, f2, f1
+            addi r1, r1, 1
+            blt  r1, r2, loop
+            halt
+
+Comments start with ``;`` or ``#``.  Immediates are decimal/hex integers,
+float literals (for ``fmovi``) or data/code labels (optionally ``label+N`` /
+``label-N``).  Memory operands follow ``[base + index*scale + offset]`` with
+any of the parts after ``base`` optional; a bare ``[label]`` or
+``[label + r1*8]`` uses the zero register as base.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.isa.instructions import AddressMode, Instruction
+from repro.isa.opcodes import OPCODES
+from repro.isa.program import CODE_BASE, DATA_BASE, INST_BYTES, Program
+from repro.isa.registers import LR, REG_NONE, parse_reg
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][A-Za-z0-9_.$]*$")
+
+
+class AssemblyError(ValueError):
+    """Raised with file/line context on any assembly problem."""
+
+    def __init__(self, message: str, lineno: int | None = None):
+        prefix = f"line {lineno}: " if lineno is not None else ""
+        super().__init__(prefix + message)
+        self.lineno = lineno
+
+
+@dataclass
+class _Pending:
+    """An instruction awaiting label resolution (pass 2)."""
+
+    mnemonic: str
+    operands: list[str]
+    lineno: int
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "#"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_int(token: str) -> int:
+    token = token.strip()
+    neg = token.startswith("-")
+    body = token[1:] if neg else token
+    if body.lower().startswith("0x"):
+        value = int(body, 16)
+    elif body.isdigit():
+        value = int(body)
+    else:
+        raise ValueError(f"not an integer: {token!r}")
+    return -value if neg else value
+
+
+class Assembler:
+    """Assemble mini-ASM text into a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._labels: dict[str, int] = {}
+        self._data: dict[int, int | float] = {}
+        self._pending: list[_Pending] = []
+        self._data_cursor = DATA_BASE
+        self._section = "text"
+
+    # ------------------------------------------------------------------
+    # pass 1: collect labels, data image and raw instructions
+    # ------------------------------------------------------------------
+    def _define_label(self, label: str, value: int, lineno: int) -> None:
+        if not _LABEL_RE.match(label):
+            raise AssemblyError(f"invalid label name {label!r}", lineno)
+        if label in self._labels:
+            raise AssemblyError(f"duplicate label {label!r}", lineno)
+        self._labels[label] = value
+
+    def _current_address(self) -> int:
+        if self._section == "text":
+            return CODE_BASE + len(self._pending) * INST_BYTES
+        return self._data_cursor
+
+    def _handle_directive(self, directive: str, rest: str, lineno: int) -> None:
+        if directive in (".data", ".text"):
+            self._section = directive[1:]
+            return
+        if self._section != "data":
+            raise AssemblyError(f"{directive} only allowed in .data", lineno)
+        if directive == ".space":
+            size = _parse_int(rest)
+            if size < 0:
+                raise AssemblyError("negative .space size", lineno)
+            self._data_cursor += (size + 7) & ~7  # keep 8-byte alignment
+        elif directive == ".word":
+            for token in rest.split(","):
+                self._data[self._data_cursor] = _parse_int(token)
+                self._data_cursor += 8
+        elif directive == ".double":
+            for token in rest.split(","):
+                self._data[self._data_cursor] = float(token.strip())
+                self._data_cursor += 8
+        elif directive == ".align":
+            boundary = _parse_int(rest)
+            if boundary <= 0 or boundary & (boundary - 1):
+                raise AssemblyError("alignment must be a power of two", lineno)
+            mask = boundary - 1
+            self._data_cursor = (self._data_cursor + mask) & ~mask
+        else:
+            raise AssemblyError(f"unknown directive {directive}", lineno)
+
+    def _first_pass(self, text: str) -> None:
+        for lineno, raw in enumerate(text.splitlines(), start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            # Leading labels (possibly several, e.g. "a: b: add ...").
+            while True:
+                match = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*:\s*", line)
+                if not match:
+                    break
+                self._define_label(match.group(1), self._current_address(), lineno)
+                line = line[match.end():]
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            head, rest = parts[0], (parts[1] if len(parts) > 1 else "")
+            if head.startswith("."):
+                self._handle_directive(head, rest, lineno)
+                continue
+            if self._section != "text":
+                raise AssemblyError("instruction outside .text", lineno)
+            if head not in OPCODES:
+                raise AssemblyError(f"unknown opcode {head!r}", lineno)
+            operands = [tok.strip() for tok in rest.split(",")] if rest else []
+            self._pending.append(_Pending(head, operands, lineno))
+
+    # ------------------------------------------------------------------
+    # pass 2: resolve operands
+    # ------------------------------------------------------------------
+    def _resolve_imm(self, token: str, lineno: int, allow_float: bool) -> int | float:
+        token = token.strip()
+        try:
+            return _parse_int(token)
+        except ValueError:
+            pass
+        if allow_float:
+            try:
+                return float(token)
+            except ValueError:
+                pass
+        # label, label+N or label-N
+        match = re.match(r"^([A-Za-z_.$][A-Za-z0-9_.$]*)\s*([+-]\s*\d+)?$", token)
+        if match and match.group(1) in self._labels:
+            value = self._labels[match.group(1)]
+            if match.group(2):
+                value += int(match.group(2).replace(" ", ""))
+            return value
+        raise AssemblyError(f"cannot resolve immediate {token!r}", lineno)
+
+    def _resolve_target(self, token: str, lineno: int) -> int:
+        value = self._resolve_imm(token, lineno, allow_float=False)
+        if isinstance(value, float):
+            raise AssemblyError("branch target cannot be float", lineno)
+        return int(value)
+
+    def _resolve_address(self, token: str, lineno: int) -> AddressMode:
+        token = token.strip()
+        if not (token.startswith("[") and token.endswith("]")):
+            raise AssemblyError(f"expected memory operand, got {token!r}", lineno)
+        inner = token[1:-1].strip()
+        if not inner:
+            raise AssemblyError("empty memory operand", lineno)
+        # Split into signed terms on top-level +/-.
+        terms = re.findall(r"([+-]?)\s*([^+\-\s][^+\-]*)", inner)
+        base = REG_NONE
+        index = REG_NONE
+        scale = 1
+        offset = 0
+        for sign, body in terms:
+            body = body.strip()
+            negative = sign == "-"
+            reg_match = re.match(r"^(r\d+|f\d+|sp|lr|zero)(?:\s*\*\s*([1248]))?$", body)
+            if reg_match:
+                if negative:
+                    raise AssemblyError("registers cannot be negated in address", lineno)
+                reg = parse_reg(reg_match.group(1))
+                if reg_match.group(2):
+                    if index != REG_NONE:
+                        raise AssemblyError("two scaled index registers", lineno)
+                    index, scale = reg, int(reg_match.group(2))
+                elif base == REG_NONE:
+                    base = reg
+                elif index == REG_NONE:
+                    index, scale = reg, 1
+                else:
+                    raise AssemblyError("too many registers in address", lineno)
+                continue
+            value = self._resolve_imm(body, lineno, allow_float=False)
+            offset += -int(value) if negative else int(value)
+        if base == REG_NONE:
+            base = 0  # absolute addressing through the zero register
+        return AddressMode(base=base, index=index, scale=scale, offset=offset)
+
+    def _build(self, pending: _Pending) -> Instruction:
+        spec = OPCODES[pending.mnemonic]
+        if len(pending.operands) != len(spec.sig):
+            raise AssemblyError(
+                f"{spec.mnemonic} expects {len(spec.sig)} operands, "
+                f"got {len(pending.operands)}",
+                pending.lineno,
+            )
+        dsts: list[int] = []
+        srcs: list[int] = []
+        imm: int | float | None = None
+        target: int | None = None
+        mem: AddressMode | None = None
+        for kind, token in zip(spec.sig, pending.operands):
+            if kind in "dD":
+                reg = parse_reg(token)
+                expect_fp = kind == "D"
+                if (reg >= 32) != expect_fp:
+                    raise AssemblyError(
+                        f"operand {token!r} has wrong register file", pending.lineno
+                    )
+                dsts.append(reg)
+            elif kind in "sS":
+                reg = parse_reg(token)
+                expect_fp = kind == "S"
+                if (reg >= 32) != expect_fp:
+                    raise AssemblyError(
+                        f"operand {token!r} has wrong register file", pending.lineno
+                    )
+                srcs.append(reg)
+            elif kind == "i":
+                imm = self._resolve_imm(
+                    token, pending.lineno, allow_float=spec.mnemonic == "fmovi"
+                )
+            elif kind == "t":
+                target = self._resolve_target(token, pending.lineno)
+            elif kind == "m":
+                mem = self._resolve_address(token, pending.lineno)
+            else:  # pragma: no cover - table is static
+                raise AssemblyError(f"bad sig char {kind!r}", pending.lineno)
+        # Implicit link-register operands (kept out of the textual syntax).
+        if spec.mnemonic == "call":
+            dsts.append(LR)
+        elif spec.mnemonic == "ret":
+            srcs.append(LR)
+        return Instruction(
+            op=spec, dsts=tuple(dsts), srcs=tuple(srcs), imm=imm, target=target, mem=mem
+        )
+
+    # ------------------------------------------------------------------
+    def assemble(self, text: str, name: str = "program") -> Program:
+        """Assemble ``text`` and return the resulting :class:`Program`."""
+        self._first_pass(text)
+        if not self._pending:
+            raise AssemblyError("no instructions in .text")
+        code = [self._build(p) for p in self._pending]
+        entry = self._labels.get("main", CODE_BASE)
+        return Program(
+            code=code, data=dict(self._data), symbols=dict(self._labels),
+            entry=entry, name=name,
+        )
+
+
+def assemble(text: str, name: str = "program") -> Program:
+    """Convenience wrapper: assemble ``text`` with a fresh :class:`Assembler`."""
+    return Assembler().assemble(text, name=name)

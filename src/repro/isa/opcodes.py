@@ -1,0 +1,191 @@
+"""Opcode table.
+
+Every opcode carries an :class:`OpSpec` describing its operation class (used
+by the timing models to pick a functional unit), its operand signature (used
+by the assembler) and its control/memory behaviour (used by the feature
+encoder to derive the 15 operation features of Table I).
+
+Operand signature mini-language (``sig``):
+
+=========  =====================================================
+token      meaning
+=========  =====================================================
+``d``      integer destination register
+``D``      fp destination register
+``s``      integer source register
+``S``      fp source register
+``i``      immediate (integers or resolved data/code labels)
+``m``      memory operand ``[base (+ index*scale) (+ offset)]``
+``t``      branch target label (direct control transfer)
+=========  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class OpClass(enum.IntEnum):
+    """Functional class of an instruction; selects execution resources."""
+
+    INT_ALU = 0
+    INT_MUL = 1
+    INT_DIV = 2
+    FP_ADD = 3
+    FP_MUL = 4
+    FP_DIV = 5
+    LOAD = 6
+    STORE = 7
+    BRANCH = 8  # conditional, direct target
+    JUMP = 9  # unconditional, direct target
+    JUMP_IND = 10  # unconditional, indirect target (jr/ret)
+    CALL = 11  # direct call, writes the link register
+    BARRIER = 12  # memory barrier
+    NOP = 13
+    HALT = 14
+
+
+#: Operation classes that transfer control.
+CONTROL_CLASSES = frozenset(
+    {OpClass.BRANCH, OpClass.JUMP, OpClass.JUMP_IND, OpClass.CALL}
+)
+#: Operation classes that access data memory.
+MEMORY_CLASSES = frozenset({OpClass.LOAD, OpClass.STORE})
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """Static description of one opcode."""
+
+    mnemonic: str
+    opclass: OpClass
+    sig: str
+    #: Condition evaluated by conditional branches ("eq", "ne", "lt", "ge").
+    cond: str | None = None
+    #: Loads/stores move fp data when True (``fld``/``fst``).
+    fp_data: bool = False
+    #: Filled in at registration time.
+    opid: int = field(default=-1, compare=False)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.opclass in CONTROL_CLASSES
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.opclass is OpClass.BRANCH
+
+    @property
+    def is_direct(self) -> bool:
+        return self.opclass in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL)
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.opclass is OpClass.JUMP_IND
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opclass in MEMORY_CLASSES
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+
+def _specs() -> list[OpSpec]:
+    A = OpClass.INT_ALU
+    return [
+        # --- integer ALU, register form -------------------------------
+        OpSpec("add", A, "dss"),
+        OpSpec("sub", A, "dss"),
+        OpSpec("and", A, "dss"),
+        OpSpec("or", A, "dss"),
+        OpSpec("xor", A, "dss"),
+        OpSpec("shl", A, "dss"),
+        OpSpec("shr", A, "dss"),
+        OpSpec("slt", A, "dss"),  # rd = rs1 < rs2 (signed)
+        OpSpec("seq", A, "dss"),  # rd = rs1 == rs2
+        OpSpec("min", A, "dss"),
+        OpSpec("max", A, "dss"),
+        OpSpec("mov", A, "ds"),
+        # --- integer ALU, immediate form ------------------------------
+        OpSpec("addi", A, "dsi"),
+        OpSpec("subi", A, "dsi"),
+        OpSpec("andi", A, "dsi"),
+        OpSpec("ori", A, "dsi"),
+        OpSpec("xori", A, "dsi"),
+        OpSpec("shli", A, "dsi"),
+        OpSpec("shri", A, "dsi"),
+        OpSpec("slti", A, "dsi"),
+        OpSpec("movi", A, "di"),
+        # --- integer multiply / divide --------------------------------
+        OpSpec("mul", OpClass.INT_MUL, "dss"),
+        OpSpec("muli", OpClass.INT_MUL, "dsi"),
+        OpSpec("div", OpClass.INT_DIV, "dss"),
+        OpSpec("rem", OpClass.INT_DIV, "dss"),
+        # --- floating point --------------------------------------------
+        OpSpec("fadd", OpClass.FP_ADD, "DSS"),
+        OpSpec("fsub", OpClass.FP_ADD, "DSS"),
+        OpSpec("fmin", OpClass.FP_ADD, "DSS"),
+        OpSpec("fmax", OpClass.FP_ADD, "DSS"),
+        OpSpec("fneg", OpClass.FP_ADD, "DS"),
+        OpSpec("fabs", OpClass.FP_ADD, "DS"),
+        OpSpec("fmov", OpClass.FP_ADD, "DS"),
+        OpSpec("fmul", OpClass.FP_MUL, "DSS"),
+        OpSpec("fma", OpClass.FP_MUL, "DSSS"),  # fd = fa * fb + fc
+        OpSpec("fdiv", OpClass.FP_DIV, "DSS"),
+        OpSpec("fsqrt", OpClass.FP_DIV, "DS"),
+        OpSpec("itof", OpClass.FP_ADD, "Ds"),  # int -> fp convert
+        OpSpec("ftoi", OpClass.FP_ADD, "dS"),  # fp -> int (truncate)
+        OpSpec("fcmplt", OpClass.FP_ADD, "dSS"),  # rd = fs1 < fs2
+        OpSpec("fmovi", OpClass.FP_ADD, "Di"),  # fp load-immediate
+        # --- memory -----------------------------------------------------
+        OpSpec("ld", OpClass.LOAD, "dm"),
+        OpSpec("fld", OpClass.LOAD, "Dm", fp_data=True),
+        OpSpec("st", OpClass.STORE, "sm"),
+        OpSpec("fst", OpClass.STORE, "Sm", fp_data=True),
+        # --- control ----------------------------------------------------
+        OpSpec("beq", OpClass.BRANCH, "sst", cond="eq"),
+        OpSpec("bne", OpClass.BRANCH, "sst", cond="ne"),
+        OpSpec("blt", OpClass.BRANCH, "sst", cond="lt"),
+        OpSpec("bge", OpClass.BRANCH, "sst", cond="ge"),
+        OpSpec("beqz", OpClass.BRANCH, "st", cond="eqz"),
+        OpSpec("bnez", OpClass.BRANCH, "st", cond="nez"),
+        OpSpec("jmp", OpClass.JUMP, "t"),
+        OpSpec("jr", OpClass.JUMP_IND, "s"),
+        OpSpec("call", OpClass.CALL, "t"),
+        OpSpec("ret", OpClass.JUMP_IND, ""),
+        # --- misc -------------------------------------------------------
+        OpSpec("fence", OpClass.BARRIER, ""),
+        OpSpec("nop", OpClass.NOP, ""),
+        OpSpec("halt", OpClass.HALT, ""),
+    ]
+
+
+def _register() -> tuple[dict[str, OpSpec], dict[str, int], list[OpSpec]]:
+    table: dict[str, OpSpec] = {}
+    ids: dict[str, int] = {}
+    by_id: list[OpSpec] = []
+    for opid, spec in enumerate(_specs()):
+        object.__setattr__(spec, "opid", opid)
+        table[spec.mnemonic] = spec
+        ids[spec.mnemonic] = opid
+        by_id.append(spec)
+    return table, ids, by_id
+
+
+#: mnemonic -> OpSpec
+OPCODES, OPCODE_IDS, OPCODE_BY_ID = _register()
+
+#: Total number of opcodes (used for feature scaling and embeddings).
+NUM_OPCODES = len(OPCODE_BY_ID)
+
+
+def opcode_id(mnemonic: str) -> int:
+    """Numeric id of a mnemonic (raises ``KeyError`` for unknown ops)."""
+    return OPCODE_IDS[mnemonic]

@@ -1,0 +1,70 @@
+"""Program container: code, initial data image and symbols.
+
+Layout mirrors a conventional flat binary: code starts at :data:`CODE_BASE`
+with 4-byte instruction slots; the data segment starts at :data:`DATA_BASE`
+and holds 8-byte words.  The VM loads the data image before execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import Instruction
+
+#: Base virtual address of the code segment (instructions are 4 bytes).
+CODE_BASE = 0x1000
+#: Base virtual address of the data segment (8-byte words).
+DATA_BASE = 0x10_0000
+#: Default top-of-stack; the VM initialises ``sp`` here (grows down).
+STACK_TOP = 0x80_0000
+
+#: Instruction size in bytes (fixed-width encoding).
+INST_BYTES = 4
+
+
+@dataclass
+class Program:
+    """An assembled program ready for execution."""
+
+    code: list[Instruction]
+    #: Initial data image: byte address -> 64-bit word value (ints are raw,
+    #: floats are stored bit-cast by the VM's memory).
+    data: dict[int, int | float] = field(default_factory=dict)
+    #: label -> address (code labels map into the code segment).
+    symbols: dict[str, int] = field(default_factory=dict)
+    entry: int = CODE_BASE
+    name: str = "program"
+
+    def __post_init__(self) -> None:
+        if not self.code:
+            raise ValueError("program has no instructions")
+
+    def __len__(self) -> int:
+        return len(self.code)
+
+    def pc_of(self, index: int) -> int:
+        """Virtual pc of the instruction at ``index``."""
+        return CODE_BASE + index * INST_BYTES
+
+    def index_of(self, pc: int) -> int:
+        """Code index of a virtual pc (raises for out-of-segment pcs)."""
+        offset = pc - CODE_BASE
+        index, rem = divmod(offset, INST_BYTES)
+        if rem or not 0 <= index < len(self.code):
+            raise ValueError(f"pc outside code segment: {pc:#x}")
+        return index
+
+    def symbol(self, name: str) -> int:
+        return self.symbols[name]
+
+    def listing(self) -> str:
+        """Human-readable disassembly with resolved label names."""
+        by_addr = {addr: lbl for lbl, addr in self.symbols.items()}
+        lines = []
+        for i, inst in enumerate(self.code):
+            pc = self.pc_of(i)
+            label = by_addr.get(pc)
+            if label is not None:
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:#08x}  {inst.to_asm(by_addr)}")
+        return "\n".join(lines)

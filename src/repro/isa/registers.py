@@ -1,0 +1,110 @@
+"""Register file specification.
+
+The ISA exposes 32 integer registers (``r0``-``r31``) and 32 floating-point
+registers (``f0``-``f31``).  Register *categories* mirror the paper's Table I,
+which feeds "indices and categories for 8 source and 6 destination registers"
+to the instruction representation model:
+
+==========  =========================================
+category    registers
+==========  =========================================
+ZERO        ``r0`` (hardwired zero; writes discarded)
+GENERAL     ``r1``-``r27``, ``r29``, ``r30``
+STACK       ``r28`` (conventional stack pointer)
+LINK        ``r31`` (link register written by ``call``)
+FLOAT       ``f0``-``f31``
+==========  =========================================
+
+Registers are referred to throughout the code base by a single *global id*:
+integer register ``i`` has id ``i`` and floating-point register ``i`` has id
+``32 + i``.  The sentinel :data:`REG_NONE` (-1) pads unused operand slots.
+"""
+
+from __future__ import annotations
+
+import enum
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Sentinel for "no register in this operand slot".
+REG_NONE = -1
+
+#: Conventional stack pointer (matches the workload builders).
+SP = 28
+#: Link register written by ``call`` and read by ``ret``.
+LR = 31
+
+
+class RegCategory(enum.IntEnum):
+    """Coarse register role, one of the per-slot features of Table I."""
+
+    NONE = 0
+    ZERO = 1
+    GENERAL = 2
+    STACK = 3
+    LINK = 4
+    FLOAT = 5
+
+
+def int_reg(index: int) -> int:
+    """Global id of integer register ``index``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return index
+
+
+def fp_reg(index: int) -> int:
+    """Global id of floating-point register ``index``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"fp register index out of range: {index}")
+    return NUM_INT_REGS + index
+
+
+def is_fp_reg(reg: int) -> bool:
+    """Whether global register id ``reg`` names a floating-point register."""
+    return NUM_INT_REGS <= reg < NUM_REGS
+
+
+def reg_category(reg: int) -> RegCategory:
+    """Category of a global register id (``REG_NONE`` maps to ``NONE``)."""
+    if reg == REG_NONE:
+        return RegCategory.NONE
+    if reg == 0:
+        return RegCategory.ZERO
+    if reg == SP:
+        return RegCategory.STACK
+    if reg == LR:
+        return RegCategory.LINK
+    if is_fp_reg(reg):
+        return RegCategory.FLOAT
+    if 0 < reg < NUM_INT_REGS:
+        return RegCategory.GENERAL
+    raise ValueError(f"invalid register id: {reg}")
+
+
+def reg_name(reg: int) -> str:
+    """Assembly name of a global register id."""
+    if reg == REG_NONE:
+        return "-"
+    if is_fp_reg(reg):
+        return f"f{reg - NUM_INT_REGS}"
+    if 0 <= reg < NUM_INT_REGS:
+        return f"r{reg}"
+    raise ValueError(f"invalid register id: {reg}")
+
+
+def parse_reg(token: str) -> int:
+    """Parse an assembly register token (``r5``, ``f12``, ``sp``, ``lr``)."""
+    token = token.strip().lower()
+    if token == "sp":
+        return SP
+    if token == "lr":
+        return LR
+    if token == "zero":
+        return 0
+    if len(token) >= 2 and token[0] in "rf" and token[1:].isdigit():
+        index = int(token[1:])
+        return int_reg(index) if token[0] == "r" else fp_reg(index)
+    raise ValueError(f"not a register: {token!r}")

@@ -1,0 +1,117 @@
+"""Transformer encoder (one of the paper's Fig. 6 ablation architectures)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ml.autograd import Tensor
+from repro.ml.layers import LayerNorm, Linear, Module, Sequential, ReLU
+
+
+def sinusoidal_positions(length: int, dim: int) -> np.ndarray:
+    """Standard sinusoidal positional encoding (length, dim), float32."""
+    position = np.arange(length, dtype=np.float64)[:, None]
+    div = np.exp(np.arange(0, dim, 2, dtype=np.float64) * (-math.log(10000.0) / dim))
+    enc = np.zeros((length, dim), dtype=np.float64)
+    enc[:, 0::2] = np.sin(position * div)
+    enc[:, 1::2] = np.cos(position * div[: enc[:, 1::2].shape[1]])
+    return enc.astype(np.float32)
+
+
+class MultiHeadAttention(Module):
+    """Causal multi-head self-attention over (B, T, D)."""
+
+    def __init__(self, dim: int, num_heads: int,
+                 rng: np.random.Generator | None = None, causal: bool = True):
+        super().__init__()
+        if dim % num_heads:
+            raise ValueError("dim must be divisible by num_heads")
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.causal = causal
+        self.q_proj = Linear(dim, dim, rng=rng)
+        self.k_proj = Linear(dim, dim, rng=rng)
+        self.v_proj = Linear(dim, dim, rng=rng)
+        self.out_proj = Linear(dim, dim, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, time: int) -> Tensor:
+        # (B, T, D) -> (B, H, T, Dh)
+        return x.reshape(batch, time, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, time, _ = x.shape
+        q = self._split_heads(self.q_proj(x), batch, time)
+        k = self._split_heads(self.k_proj(x), batch, time)
+        v = self._split_heads(self.v_proj(x), batch, time)
+        scores = (q @ k.transpose(0, 1, 3, 2)) * (1.0 / math.sqrt(self.head_dim))
+        if self.causal:
+            mask = np.triu(np.full((time, time), -1e9, dtype=np.float32), k=1)
+            scores = scores + Tensor(mask)
+        weights = scores.softmax(axis=-1)
+        context = weights @ v  # (B, H, T, Dh)
+        merged = context.transpose(0, 2, 1, 3).reshape(batch, time, self.dim)
+        return self.out_proj(merged)
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer block: MHA + feed-forward, residuals."""
+
+    def __init__(self, dim: int, num_heads: int, ff_dim: int | None = None,
+                 rng: np.random.Generator | None = None, causal: bool = True):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        ff_dim = ff_dim or 4 * dim
+        self.norm1 = LayerNorm(dim)
+        self.attn = MultiHeadAttention(dim, num_heads, rng=rng, causal=causal)
+        self.norm2 = LayerNorm(dim)
+        self.ff = Sequential(
+            Linear(dim, ff_dim, rng=rng), ReLU(), Linear(ff_dim, dim, rng=rng)
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        x = x + self.attn(self.norm1(x))
+        return x + self.ff(self.norm2(x))
+
+
+class TransformerEncoder(Module):
+    """Input projection + positional encoding + N encoder layers.
+
+    Causal masking keeps the model's receptive field "the current
+    instruction and its predecessors", matching the paper's instruction
+    model; the interface mirrors :class:`~repro.ml.recurrent.LSTM` (state is
+    accepted and returned for API compatibility but unused — attention is
+    chunk-local).
+    """
+
+    def __init__(self, input_size: int, dim: int, num_layers: int = 2,
+                 num_heads: int = 4, max_len: int = 1024,
+                 rng: np.random.Generator | None = None):
+        super().__init__()
+        rng = rng or np.random.default_rng(0)
+        self.dim = dim
+        self.input_proj = Linear(input_size, dim, rng=rng)
+        self.layers = [
+            TransformerEncoderLayer(dim, num_heads, rng=rng) for _ in range(num_layers)
+        ]
+        self.final_norm = LayerNorm(dim)
+        self._positions = sinusoidal_positions(max_len, dim)
+
+    @property
+    def output_size(self) -> int:
+        return self.dim
+
+    def initial_state(self, batch: int):
+        return None
+
+    def forward(self, x: Tensor, state=None) -> tuple[Tensor, None]:
+        batch, time, _ = x.shape
+        if time > len(self._positions):
+            self._positions = sinusoidal_positions(time, self.dim)
+        h = self.input_proj(x) + Tensor(self._positions[:time])
+        for layer in self.layers:
+            h = layer(h)
+        return self.final_norm(h), None

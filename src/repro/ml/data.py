@@ -1,0 +1,104 @@
+"""Sequence chunking and batching for streaming trace training.
+
+PerfVec treats each benchmark trace as a long stream.  For truncated-BPTT
+training, each benchmark segment is cut into contiguous chunks of length
+``chunk_len``; chunks are grouped into batches and shuffled per epoch.  A
+90/5/5 train/validation/test split over chunks mirrors the paper (Sec.
+IV-C: "roughly 90% of them are dedicated for training, 5% for validation,
+and 5% for testing").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Chunk:
+    """One contiguous slice of one benchmark's rows."""
+
+    segment: str
+    start: int  # absolute row into the dataset
+    length: int
+
+
+def make_chunks(
+    segments: tuple[tuple[str, int, int], ...], chunk_len: int
+) -> list[Chunk]:
+    """Cut each segment into full-length contiguous chunks.
+
+    The ragged tail of each segment (< chunk_len rows) is dropped, keeping
+    every training sequence the same length.
+    """
+    if chunk_len < 1:
+        raise ValueError("chunk_len must be >= 1")
+    chunks = []
+    for name, start, end in segments:
+        for pos in range(start, end - chunk_len + 1, chunk_len):
+            chunks.append(Chunk(name, pos, chunk_len))
+    return chunks
+
+
+def split_chunks(
+    chunks: list[Chunk],
+    val_frac: float = 0.05,
+    test_frac: float = 0.05,
+    seed: int = 0,
+) -> tuple[list[Chunk], list[Chunk], list[Chunk]]:
+    """Shuffled train/val/test split over chunks."""
+    if val_frac < 0 or test_frac < 0 or val_frac + test_frac >= 1:
+        raise ValueError("invalid split fractions")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(chunks))
+    n_val = int(round(len(chunks) * val_frac))
+    n_test = int(round(len(chunks) * test_frac))
+    val = [chunks[i] for i in order[:n_val]]
+    test = [chunks[i] for i in order[n_val : n_val + n_test]]
+    train = [chunks[i] for i in order[n_val + n_test :]]
+    return train, val, test
+
+
+class ChunkBatches:
+    """Iterable over (features (B, L, F), targets (B, L, K)) batches."""
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        chunks: list[Chunk],
+        batch_size: int,
+        shuffle: bool = True,
+        seed: int = 0,
+    ):
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if not chunks:
+            raise ValueError("no chunks to iterate")
+        lengths = {c.length for c in chunks}
+        if len(lengths) != 1:
+            raise ValueError("all chunks must share one length")
+        self.features = features
+        self.targets = targets
+        self.chunks = chunks
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self.chunk_len = next(iter(lengths))
+        self._rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return (len(self.chunks) + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self):
+        order = (
+            self._rng.permutation(len(self.chunks))
+            if self.shuffle
+            else np.arange(len(self.chunks))
+        )
+        L = self.chunk_len
+        for b in range(0, len(order), self.batch_size):
+            batch = [self.chunks[i] for i in order[b : b + self.batch_size]]
+            x = np.stack([self.features[c.start : c.start + L] for c in batch])
+            y = np.stack([self.targets[c.start : c.start + L] for c in batch])
+            yield x, y

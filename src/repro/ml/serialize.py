@@ -1,0 +1,21 @@
+"""Model state persistence (npz)."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.ml.layers import Module
+
+
+def save_state(model: Module, path: str) -> None:
+    """Save a model's parameters to ``path`` (npz)."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    np.savez_compressed(path, **model.state_dict())
+
+
+def load_state(model: Module, path: str) -> None:
+    """Load parameters saved by :func:`save_state` into ``model``."""
+    with np.load(path) as data:
+        model.load_state_dict({k: data[k] for k in data.files})

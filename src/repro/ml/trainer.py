@@ -1,0 +1,91 @@
+"""Generic training loop with best-on-validation selection.
+
+Implements the paper's recipe (Sec. IV-D): Adam at lr=0.001 decayed 10x
+every 10 epochs, MSE loss, and "the validation set is used to choose the
+model with the lowest validation loss among all epochs".
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.ml.layers import Module
+from repro.ml.optim import Adam, StepLR
+
+
+@dataclass
+class TrainConfig:
+    epochs: int = 50
+    lr: float = 1e-3
+    lr_step: int = 10
+    lr_gamma: float = 0.1
+    verbose: bool = False
+
+
+@dataclass
+class TrainHistory:
+    train_losses: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+    best_epoch: int = -1
+    best_val_loss: float = float("inf")
+    seconds: float = 0.0
+
+
+class Trainer:
+    """Drives epochs over a loss callback; restores the best weights.
+
+    The caller supplies ``train_step(batch) -> Tensor`` (a loss tensor the
+    trainer backpropagates) and ``val_loss() -> float``.  This indirection
+    lets PerfVec training (which reuses instruction representations across
+    k microarchitectures per step) and baseline training share one loop.
+    """
+
+    def __init__(self, model: Module, config: TrainConfig | None = None):
+        self.model = model
+        self.config = config or TrainConfig()
+        self.optimizer = Adam(model.parameters(), lr=self.config.lr)
+        self.scheduler = StepLR(
+            self.optimizer, step_size=self.config.lr_step, gamma=self.config.lr_gamma
+        )
+
+    def fit(
+        self,
+        batches_fn: Callable[[], "object"],
+        train_step: Callable[[object], "object"],
+        val_loss_fn: Callable[[], float],
+    ) -> TrainHistory:
+        history = TrainHistory()
+        best_state = self.model.state_dict()
+        start = time.perf_counter()
+        for epoch in range(self.config.epochs):
+            self.model.train()
+            epoch_losses = []
+            for batch in batches_fn():
+                self.optimizer.zero_grad()
+                loss = train_step(batch)
+                loss.backward()
+                self.optimizer.step()
+                epoch_losses.append(loss.item())
+            self.scheduler.step()
+            self.model.eval()
+            val = float(val_loss_fn())
+            train_mean = float(np.mean(epoch_losses)) if epoch_losses else float("nan")
+            history.train_losses.append(train_mean)
+            history.val_losses.append(val)
+            if val < history.best_val_loss:
+                history.best_val_loss = val
+                history.best_epoch = epoch
+                best_state = self.model.state_dict()
+            if self.config.verbose:
+                print(
+                    f"epoch {epoch:3d}  train={train_mean:.5f}  val={val:.5f}"
+                    f"  lr={self.optimizer.lr:.2e}"
+                )
+        self.model.load_state_dict(best_state)
+        self.model.eval()
+        history.seconds = time.perf_counter() - start
+        return history

@@ -1,0 +1,40 @@
+"""Trace-driven cycle-level CPU timing simulator (the gem5 substitute).
+
+Given a microarchitecture-independent dynamic trace (:mod:`repro.vm`) and a
+:class:`~repro.uarch.config.MicroarchConfig`, the simulator computes per-
+instruction retire times on that microarchitecture — and from them the
+*incremental latencies* PerfVec trains on (Sec. III-B of the paper: the time
+an instruction stays active after all predecessors exit).
+
+Components: set-associative LRU caches with optional L2 exclusivity, a DRAM
+latency/bandwidth model, direction predictors (static/bimodal/gshare/
+tournament) with BTB + return-address stack, and in-order/out-of-order
+scoreboard timing models.
+"""
+
+from repro.sim.cache import Cache, CacheHierarchy
+from repro.sim.memory import DRAMModel
+from repro.sim.branch import (
+    BimodalPredictor,
+    BranchUnit,
+    GSharePredictor,
+    StaticPredictor,
+    TournamentPredictor,
+    make_direction_predictor,
+)
+from repro.sim.cpu import CPUSimulator, SimResult, simulate
+
+__all__ = [
+    "Cache",
+    "CacheHierarchy",
+    "DRAMModel",
+    "BimodalPredictor",
+    "BranchUnit",
+    "GSharePredictor",
+    "StaticPredictor",
+    "TournamentPredictor",
+    "make_direction_predictor",
+    "CPUSimulator",
+    "SimResult",
+    "simulate",
+]

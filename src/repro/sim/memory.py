@@ -1,0 +1,34 @@
+"""DRAM latency/bandwidth model.
+
+Each cache-line fill pays the technology's base latency plus queueing
+behind earlier transfers on the single channel; the channel is busy for
+``line_bytes / bandwidth`` per fill.  This reproduces the first-order
+behaviour the paper's memory knobs (type, bandwidth, frequency) control:
+latency-bound pointer chasing sees the base latency, streaming kernels
+saturate the channel and see queueing delay grow.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import MemoryConfig
+
+
+class DRAMModel:
+    """Single-channel DRAM with base latency and finite bandwidth."""
+
+    __slots__ = ("latency_cycles", "transfer_cycles", "busy_until", "accesses")
+
+    def __init__(self, config: MemoryConfig, freq_ghz: float, line_bytes: int = 64):
+        # cycles = ns * GHz
+        self.latency_cycles = max(1, round(config.latency_ns * freq_ghz))
+        # transfer time of one line in cycles: bytes / (GB/s) = ns
+        self.transfer_cycles = max(1, round(line_bytes / config.bandwidth_gbps * freq_ghz))
+        self.busy_until = 0
+        self.accesses = 0
+
+    def access(self, now: int) -> int:
+        """Latency (cycles) of a line fill issued around cycle ``now``."""
+        self.accesses += 1
+        start = now if now > self.busy_until else self.busy_until
+        self.busy_until = start + self.transfer_cycles
+        return (start - now) + self.latency_cycles + self.transfer_cycles

@@ -1,0 +1,35 @@
+"""Microarchitecture configuration space.
+
+The paper samples 70 random gem5 configurations (60 out-of-order, 10
+in-order) plus 7 predefined ones, varying processor, cache and memory
+parameters (Sec. IV-C).  This package provides the equivalent:
+:class:`MicroarchConfig` dataclasses with validity rules, a seeded random
+sampler, the seven presets (including the ARM Cortex-A7-like in-order core
+used by the paper's Figs. 7-8), and the parameter-vector encoding consumed
+by the microarchitecture representation model in DSE.
+"""
+
+from repro.uarch.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    FUConfig,
+    MemoryConfig,
+    MicroarchConfig,
+)
+from repro.uarch.presets import PRESETS, cortex_a7_like, preset
+from repro.uarch.sampling import sample_config, sample_configs
+
+__all__ = [
+    "BranchPredictorConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "FUConfig",
+    "MemoryConfig",
+    "MicroarchConfig",
+    "PRESETS",
+    "cortex_a7_like",
+    "preset",
+    "sample_config",
+    "sample_configs",
+]

@@ -1,0 +1,209 @@
+"""Predefined microarchitectures.
+
+The paper complements its 70 random samples with "seven predefined
+configurations in gem5 (four out-of-order and three in-order)".  These seven
+presets play the same role; ``cortex-a7-like`` is the in-order core the
+paper fixes for the cache-size DSE (Fig. 7) and loop-tiling (Fig. 8) studies.
+"""
+
+from __future__ import annotations
+
+from repro.uarch.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    CoreKind,
+    FUConfig,
+    MemoryConfig,
+    MemoryKind,
+    MicroarchConfig,
+    PredictorKind,
+)
+
+
+def _core(kind, freq, fetch, depth, issue, commit, rob, mem_ports, mshrs,
+          alu, mul, div, fadd, fmul, fdiv) -> CoreConfig:
+    return CoreConfig(
+        kind=kind, freq_ghz=freq, fetch_width=fetch, frontend_depth=depth,
+        issue_width=issue, commit_width=commit, rob_size=rob,
+        int_alu=alu, int_mul=mul, int_div=div,
+        fp_add=fadd, fp_mul=fmul, fp_div=fdiv,
+        mem_ports=mem_ports, mshrs=mshrs,
+    )
+
+
+def cortex_a7_like() -> MicroarchConfig:
+    """Small dual-issue in-order core (the paper's DSE/tiling baseline)."""
+    return MicroarchConfig(
+        name="cortex-a7-like",
+        core=_core(
+            CoreKind.IN_ORDER, 1.4, 2, 5, 2, 2, 8, 1, 4,
+            alu=FUConfig(2, 1), mul=FUConfig(1, 4),
+            div=FUConfig(1, 20, pipelined=False),
+            fadd=FUConfig(1, 4), fmul=FUConfig(1, 5),
+            fdiv=FUConfig(1, 25, pipelined=False),
+        ),
+        branch=BranchPredictorConfig(
+            PredictorKind.BIMODAL, table_bits=9, history_bits=0,
+            btb_bits=8, ras_entries=8, mispredict_penalty=8,
+        ),
+        l1i=CacheConfig(32, 2, 2),
+        l1d=CacheConfig(32, 4, 3),
+        l2=CacheConfig(512, 8, 12),
+        memory=MemoryConfig(MemoryKind.DDR4, 80.0, 12.0),
+    )
+
+
+def cortex_a55_like() -> MicroarchConfig:
+    """Modern little in-order core with a gshare predictor."""
+    return MicroarchConfig(
+        name="cortex-a55-like",
+        core=_core(
+            CoreKind.IN_ORDER, 2.0, 2, 6, 2, 2, 8, 1, 6,
+            alu=FUConfig(2, 1), mul=FUConfig(1, 3),
+            div=FUConfig(1, 16, pipelined=False),
+            fadd=FUConfig(2, 3), fmul=FUConfig(1, 4),
+            fdiv=FUConfig(1, 18, pipelined=False),
+        ),
+        branch=BranchPredictorConfig(
+            PredictorKind.GSHARE, table_bits=11, history_bits=8,
+            btb_bits=9, ras_entries=8, mispredict_penalty=9,
+        ),
+        l1i=CacheConfig(32, 4, 2),
+        l1d=CacheConfig(64, 4, 3),
+        l2=CacheConfig(256, 4, 10),
+        memory=MemoryConfig(MemoryKind.LPDDR5, 95.0, 30.0),
+    )
+
+
+def microcontroller_like() -> MicroarchConfig:
+    """Single-issue in-order core with a static predictor and tiny caches."""
+    return MicroarchConfig(
+        name="microcontroller-like",
+        core=_core(
+            CoreKind.IN_ORDER, 0.8, 1, 3, 1, 1, 8, 1, 1,
+            alu=FUConfig(1, 1), mul=FUConfig(1, 6),
+            div=FUConfig(1, 34, pipelined=False),
+            fadd=FUConfig(1, 6), fmul=FUConfig(1, 8),
+            fdiv=FUConfig(1, 34, pipelined=False),
+        ),
+        branch=BranchPredictorConfig(
+            PredictorKind.STATIC, table_bits=4, history_bits=0,
+            btb_bits=4, ras_entries=0, mispredict_penalty=4,
+        ),
+        l1i=CacheConfig(8, 2, 1),
+        l1d=CacheConfig(8, 2, 2),
+        l2=CacheConfig(64, 4, 9),
+        memory=MemoryConfig(MemoryKind.DDR4, 110.0, 6.0),
+    )
+
+
+def cortex_a72_like() -> MicroarchConfig:
+    """Mid-size 3-wide out-of-order core."""
+    return MicroarchConfig(
+        name="cortex-a72-like",
+        core=_core(
+            CoreKind.OUT_OF_ORDER, 2.2, 3, 8, 3, 3, 128, 2, 10,
+            alu=FUConfig(2, 1), mul=FUConfig(1, 3),
+            div=FUConfig(1, 18, pipelined=False),
+            fadd=FUConfig(2, 3), fmul=FUConfig(2, 4),
+            fdiv=FUConfig(1, 16, pipelined=False),
+        ),
+        branch=BranchPredictorConfig(
+            PredictorKind.TOURNAMENT, table_bits=12, history_bits=11,
+            btb_bits=11, ras_entries=16, mispredict_penalty=12,
+        ),
+        l1i=CacheConfig(32, 4, 2),
+        l1d=CacheConfig(32, 4, 4),
+        l2=CacheConfig(1024, 16, 15),
+        memory=MemoryConfig(MemoryKind.DDR4, 75.0, 20.0),
+    )
+
+
+def skylake_like() -> MicroarchConfig:
+    """Big 4-wide out-of-order desktop core."""
+    return MicroarchConfig(
+        name="skylake-like",
+        core=_core(
+            CoreKind.OUT_OF_ORDER, 3.6, 4, 10, 6, 4, 224, 3, 16,
+            alu=FUConfig(4, 1), mul=FUConfig(1, 3),
+            div=FUConfig(1, 21, pipelined=False),
+            fadd=FUConfig(2, 4), fmul=FUConfig(2, 4),
+            fdiv=FUConfig(1, 13, pipelined=False),
+        ),
+        branch=BranchPredictorConfig(
+            PredictorKind.TOURNAMENT, table_bits=14, history_bits=14,
+            btb_bits=12, ras_entries=32, mispredict_penalty=16,
+        ),
+        l1i=CacheConfig(32, 8, 3),
+        l1d=CacheConfig(32, 8, 4),
+        l2=CacheConfig(1024, 16, 14),
+        memory=MemoryConfig(MemoryKind.DDR4, 70.0, 40.0),
+    )
+
+
+def zen_like() -> MicroarchConfig:
+    """Wide out-of-order core with an exclusive L2."""
+    return MicroarchConfig(
+        name="zen-like",
+        core=_core(
+            CoreKind.OUT_OF_ORDER, 3.4, 4, 9, 5, 4, 192, 2, 12,
+            alu=FUConfig(4, 1), mul=FUConfig(1, 3),
+            div=FUConfig(1, 25, pipelined=False),
+            fadd=FUConfig(2, 3), fmul=FUConfig(2, 4),
+            fdiv=FUConfig(1, 15, pipelined=False),
+        ),
+        branch=BranchPredictorConfig(
+            PredictorKind.TOURNAMENT, table_bits=13, history_bits=12,
+            btb_bits=12, ras_entries=31, mispredict_penalty=14,
+        ),
+        l1i=CacheConfig(64, 4, 3),
+        l1d=CacheConfig(32, 8, 4),
+        l2=CacheConfig(512, 8, 12),
+        memory=MemoryConfig(MemoryKind.DDR4, 72.0, 35.0),
+        l2_exclusive=True,
+    )
+
+
+def server_like() -> MicroarchConfig:
+    """High-frequency server core with HBM-class memory."""
+    return MicroarchConfig(
+        name="server-like",
+        core=_core(
+            CoreKind.OUT_OF_ORDER, 3.0, 5, 11, 6, 5, 256, 3, 24,
+            alu=FUConfig(4, 1), mul=FUConfig(2, 3),
+            div=FUConfig(1, 20, pipelined=False),
+            fadd=FUConfig(3, 3), fmul=FUConfig(2, 4),
+            fdiv=FUConfig(1, 14, pipelined=False),
+        ),
+        branch=BranchPredictorConfig(
+            PredictorKind.TOURNAMENT, table_bits=15, history_bits=14,
+            btb_bits=13, ras_entries=48, mispredict_penalty=15,
+        ),
+        l1i=CacheConfig(64, 8, 3),
+        l1d=CacheConfig(64, 8, 4),
+        l2=CacheConfig(2048, 16, 16),
+        memory=MemoryConfig(MemoryKind.HBM, 55.0, 250.0),
+    )
+
+
+#: The seven predefined configurations (4 OoO + 3 in-order, as in the paper).
+PRESETS: dict[str, MicroarchConfig] = {
+    cfg.name: cfg
+    for cfg in (
+        cortex_a7_like(),
+        cortex_a55_like(),
+        microcontroller_like(),
+        cortex_a72_like(),
+        skylake_like(),
+        zen_like(),
+        server_like(),
+    )
+}
+
+
+def preset(name: str) -> MicroarchConfig:
+    """Look up a preset by name."""
+    if name not in PRESETS:
+        raise KeyError(f"unknown preset {name!r}; known: {sorted(PRESETS)}")
+    return PRESETS[name]

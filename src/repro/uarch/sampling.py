@@ -1,0 +1,148 @@
+"""Random sampling of valid microarchitecture configurations.
+
+Mirrors the paper's configuration-sampling tool (Sec. IV-C): "it can alter
+processor, cache, and memory configurations ... randomly select cache sizes,
+associativities, latencies, and exclusivity ... change the memory type,
+bandwidth, and frequency."  Sampling is seeded and deterministic; the default
+mix is 60 out-of-order + 10 in-order random configs plus the 7 presets,
+yielding the paper's 77 training microarchitectures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.uarch.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreConfig,
+    CoreKind,
+    FUConfig,
+    MemoryConfig,
+    MEMORY_BASELINES,
+    MemoryKind,
+    MicroarchConfig,
+    PredictorKind,
+)
+from repro.uarch.presets import PRESETS
+
+
+def _choice(rng: np.random.Generator, options):
+    return options[int(rng.integers(len(options)))]
+
+
+def _sample_core(rng: np.random.Generator, kind: CoreKind) -> CoreConfig:
+    ooo = kind is CoreKind.OUT_OF_ORDER
+    issue_width = int(_choice(rng, [2, 3, 4, 6] if ooo else [1, 1, 2, 2]))
+    return CoreConfig(
+        kind=kind,
+        freq_ghz=float(np.round(rng.uniform(1.0, 4.0 if ooo else 2.4), 2)),
+        fetch_width=int(_choice(rng, [2, 3, 4, 6, 8] if ooo else [1, 2])),
+        frontend_depth=int(rng.integers(4, 13 if ooo else 8)),
+        issue_width=issue_width,
+        commit_width=min(issue_width, int(_choice(rng, [2, 3, 4, 6] if ooo else [1, 2]))),
+        rob_size=int(_choice(rng, [32, 64, 96, 128, 192, 256, 384])) if ooo else 8,
+        int_alu=FUConfig(int(_choice(rng, [1, 2, 3, 4])), 1),
+        int_mul=FUConfig(int(_choice(rng, [1, 2])), int(rng.integers(3, 7))),
+        int_div=FUConfig(1, int(rng.integers(12, 36)), pipelined=False),
+        fp_add=FUConfig(int(_choice(rng, [1, 2, 3])), int(rng.integers(2, 6))),
+        fp_mul=FUConfig(int(_choice(rng, [1, 2])), int(rng.integers(3, 7))),
+        fp_div=FUConfig(1, int(rng.integers(10, 30)), pipelined=False),
+        mem_ports=int(_choice(rng, [1, 2, 3])),
+        mshrs=int(_choice(rng, [2, 4, 8, 16, 32])) if ooo else int(_choice(rng, [1, 2, 4])),
+    )
+
+
+def _sample_branch(rng: np.random.Generator, kind: CoreKind) -> BranchPredictorConfig:
+    ooo = kind is CoreKind.OUT_OF_ORDER
+    pk = _choice(
+        rng,
+        [PredictorKind.GSHARE, PredictorKind.TOURNAMENT, PredictorKind.BIMODAL]
+        if ooo
+        else [PredictorKind.STATIC, PredictorKind.BIMODAL, PredictorKind.GSHARE],
+    )
+    table_bits = int(rng.integers(8, 16))
+    return BranchPredictorConfig(
+        kind=pk,
+        table_bits=table_bits,
+        history_bits=0 if pk in (PredictorKind.STATIC, PredictorKind.BIMODAL)
+        else int(rng.integers(4, min(table_bits, 14))),
+        btb_bits=int(rng.integers(6, 13)),
+        ras_entries=int(_choice(rng, [0, 8, 16, 32])),
+        mispredict_penalty=int(rng.integers(6, 20 if ooo else 12)),
+    )
+
+
+def _sample_cache(
+    rng: np.random.Generator, sizes_kb, assocs, lat_range
+) -> CacheConfig:
+    size = int(_choice(rng, sizes_kb))
+    assoc = int(_choice(rng, assocs))
+    # keep at least one set
+    while assoc > size * 1024 // 64:
+        assoc //= 2
+    return CacheConfig(
+        size_kb=size, assoc=max(assoc, 1),
+        latency=int(rng.integers(lat_range[0], lat_range[1] + 1)),
+    )
+
+
+def _sample_memory(rng: np.random.Generator) -> MemoryConfig:
+    kind = _choice(rng, list(MemoryKind))
+    base_lat, base_bw = MEMORY_BASELINES[kind]
+    return MemoryConfig(
+        kind=kind,
+        latency_ns=float(np.round(base_lat * rng.uniform(0.7, 1.4), 1)),
+        bandwidth_gbps=float(np.round(base_bw * rng.uniform(0.6, 1.5), 1)),
+    )
+
+
+def sample_config(
+    rng: np.random.Generator, kind: CoreKind | None = None, name: str | None = None
+) -> MicroarchConfig:
+    """Sample one valid random microarchitecture."""
+    if kind is None:
+        kind = CoreKind.OUT_OF_ORDER if rng.random() < 6 / 7 else CoreKind.IN_ORDER
+    core = _sample_core(rng, kind)
+    l1i = _sample_cache(rng, [8, 16, 32, 64], [1, 2, 4, 8], (1, 3))
+    l1d = _sample_cache(rng, [4, 8, 16, 32, 64, 128], [1, 2, 4, 8], (2, 5))
+    min_l2 = max(l1i.size_kb, l1d.size_kb)
+    l2_sizes = [s for s in [128, 256, 512, 1024, 2048, 4096, 8192] if s >= min_l2]
+    l2 = _sample_cache(rng, l2_sizes, [4, 8, 16], (8, 25))
+    return MicroarchConfig(
+        name=name or f"random-{kind.value}",
+        core=core,
+        branch=_sample_branch(rng, kind),
+        l1i=l1i,
+        l1d=l1d,
+        l2=l2,
+        memory=_sample_memory(rng),
+        l2_exclusive=bool(rng.random() < 0.25),
+    )
+
+
+def sample_configs(
+    n_ooo: int = 60,
+    n_inorder: int = 10,
+    seed: int = 0,
+    include_presets: bool = True,
+) -> list[MicroarchConfig]:
+    """The paper's recipe: random OoO + random in-order + the 7 presets.
+
+    Defaults produce 77 configurations, matching Sec. IV-C.
+    """
+    if n_ooo < 0 or n_inorder < 0:
+        raise ValueError("sample counts must be non-negative")
+    rng = np.random.default_rng(seed)
+    configs: list[MicroarchConfig] = []
+    for i in range(n_ooo):
+        configs.append(
+            sample_config(rng, CoreKind.OUT_OF_ORDER, name=f"rand-ooo-{i:02d}")
+        )
+    for i in range(n_inorder):
+        configs.append(
+            sample_config(rng, CoreKind.IN_ORDER, name=f"rand-io-{i:02d}")
+        )
+    if include_presets:
+        configs.extend(PRESETS.values())
+    return configs

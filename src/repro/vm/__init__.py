@@ -1,0 +1,15 @@
+"""Functional virtual machine.
+
+Executes assembled :class:`~repro.isa.program.Program` objects and records
+the dynamic instruction trace.  The trace is *microarchitecture independent*
+— the fact PerfVec's representation-reuse training optimization relies on
+(Sec. IV-B of the paper): the same trace is timed on every sampled
+microarchitecture by :mod:`repro.sim` without re-executing the program.
+"""
+
+from repro.vm.errors import VMError
+from repro.vm.memory import Memory
+from repro.vm.trace import Trace, TraceBuilder
+from repro.vm.machine import Machine, run_program
+
+__all__ = ["VMError", "Memory", "Trace", "TraceBuilder", "Machine", "run_program"]

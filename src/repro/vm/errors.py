@@ -1,0 +1,10 @@
+"""VM error types."""
+
+
+class VMError(RuntimeError):
+    """Unrecoverable execution error (bad pc, corrupt control flow, ...).
+
+    Recoverable events — divide by zero, misaligned accesses — do *not*
+    raise; they set the per-instruction fault flag recorded in the trace,
+    mirroring how gem5 traces fault bits for the paper's Table I features.
+    """

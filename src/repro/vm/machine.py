@@ -1,0 +1,442 @@
+"""The functional interpreter.
+
+Each static instruction is compiled once into a Python closure ("threaded
+code"); the run loop then dispatches through precompiled handlers, which is
+what makes tracing 10^5-10^6 instruction workloads practical in pure Python.
+
+Handlers return ``(next_index, mem_addr, taken, target, fault)``:
+
+* ``next_index`` — code index to execute next (-1 stops the machine),
+* ``mem_addr``   — effective byte address for loads/stores, else -1,
+* ``taken``      — 1/0 for branches, -1 otherwise,
+* ``target``     — resolved target pc for control transfers, else -1,
+* ``fault``      — recoverable fault flag (divide by zero, misalignment,
+  fp-domain errors); mirrors the "execution fault" feature of Table I.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.isa.instructions import Instruction
+from repro.isa.program import INST_BYTES, Program, STACK_TOP
+from repro.isa.registers import LR, SP
+from repro.vm.errors import VMError
+from repro.vm.memory import Memory, wrap_i64
+from repro.vm.trace import Trace, TraceBuilder
+
+_Handler = Callable[[], tuple[int, int, int, int, bool]]
+
+_INT_BIN = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "shl": lambda a, b: a << (b & 63),
+    "shr": lambda a, b: a >> (b & 63),
+    "slt": lambda a, b: int(a < b),
+    "seq": lambda a, b: int(a == b),
+    "min": min,
+    "max": max,
+    "mul": lambda a, b: a * b,
+}
+
+_INT_IMM = {
+    "addi": _INT_BIN["add"],
+    "subi": _INT_BIN["sub"],
+    "andi": _INT_BIN["and"],
+    "ori": _INT_BIN["or"],
+    "xori": _INT_BIN["xor"],
+    "shli": _INT_BIN["shl"],
+    "shri": _INT_BIN["shr"],
+    "slti": _INT_BIN["slt"],
+    "muli": _INT_BIN["mul"],
+}
+
+_FP_BIN = {
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fmin": min,
+    "fmax": max,
+}
+
+_COND = {
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+    "lt": lambda a, b: a < b,
+    "ge": lambda a, b: a >= b,
+}
+
+#: Largest float magnitude convertible to int64 without clamping.
+_FTOI_LIMIT = float(1 << 62)
+
+
+class Machine:
+    """Functional mini-ASM interpreter producing dynamic traces."""
+
+    def __init__(self) -> None:
+        self.regs: list[int] = [0] * 32
+        self.fregs: list[float] = [0.0] * 32
+        self.memory = Memory()
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    def reset(self, program: Program) -> None:
+        self.regs = [0] * 32
+        self.fregs = [0.0] * 32
+        self.regs[SP] = STACK_TOP
+        self.memory = Memory()
+        self.memory.load_image(program.data)
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    def _compile(self, inst: Instruction, index: int, program: Program) -> _Handler:
+        op = inst.op
+        m = op.mnemonic
+        regs = self.regs
+        fregs = self.fregs
+        memory = self.memory
+        nxt = index + 1
+
+        # ---- integer ALU ----------------------------------------------
+        if m in _INT_BIN:
+            fn = _INT_BIN[m]
+            d = inst.dsts[0]
+            a, b = inst.srcs
+
+            def h_int_bin() -> tuple[int, int, int, int, bool]:
+                if d:
+                    regs[d] = wrap_i64(fn(regs[a], regs[b]))
+                return nxt, -1, -1, -1, False
+
+            return h_int_bin
+        if m in _INT_IMM:
+            fn = _INT_IMM[m]
+            d = inst.dsts[0]
+            a = inst.srcs[0]
+            imm = int(inst.imm)
+
+            def h_int_imm() -> tuple[int, int, int, int, bool]:
+                if d:
+                    regs[d] = wrap_i64(fn(regs[a], imm))
+                return nxt, -1, -1, -1, False
+
+            return h_int_imm
+        if m == "mov":
+            d = inst.dsts[0]
+            a = inst.srcs[0]
+
+            def h_mov() -> tuple[int, int, int, int, bool]:
+                if d:
+                    regs[d] = regs[a]
+                return nxt, -1, -1, -1, False
+
+            return h_mov
+        if m == "movi":
+            d = inst.dsts[0]
+            imm = wrap_i64(int(inst.imm))
+
+            def h_movi() -> tuple[int, int, int, int, bool]:
+                if d:
+                    regs[d] = imm
+                return nxt, -1, -1, -1, False
+
+            return h_movi
+        if m in ("div", "rem"):
+            d = inst.dsts[0]
+            a, b = inst.srcs
+            want_rem = m == "rem"
+
+            def h_div() -> tuple[int, int, int, int, bool]:
+                denom = regs[b]
+                if denom == 0:
+                    if d:
+                        regs[d] = 0
+                    return nxt, -1, -1, -1, True
+                numer = regs[a]
+                quot = abs(numer) // abs(denom)
+                if (numer < 0) != (denom < 0):
+                    quot = -quot
+                if d:
+                    regs[d] = wrap_i64(numer - quot * denom if want_rem else quot)
+                return nxt, -1, -1, -1, False
+
+            return h_div
+
+        # ---- floating point ---------------------------------------------
+        if m in _FP_BIN:
+            fn = _FP_BIN[m]
+            d = inst.dsts[0] - 32
+            a, b = (s - 32 for s in inst.srcs)
+
+            def h_fp_bin() -> tuple[int, int, int, int, bool]:
+                fregs[d] = fn(fregs[a], fregs[b])
+                return nxt, -1, -1, -1, False
+
+            return h_fp_bin
+        if m == "fdiv":
+            d = inst.dsts[0] - 32
+            a, b = (s - 32 for s in inst.srcs)
+
+            def h_fdiv() -> tuple[int, int, int, int, bool]:
+                denom = fregs[b]
+                if denom == 0.0:
+                    fregs[d] = math.copysign(math.inf, fregs[a]) if fregs[a] else 0.0
+                    return nxt, -1, -1, -1, True
+                fregs[d] = fregs[a] / denom
+                return nxt, -1, -1, -1, False
+
+            return h_fdiv
+        if m == "fsqrt":
+            d = inst.dsts[0] - 32
+            a = inst.srcs[0] - 32
+
+            def h_fsqrt() -> tuple[int, int, int, int, bool]:
+                value = fregs[a]
+                if value < 0.0:
+                    fregs[d] = 0.0
+                    return nxt, -1, -1, -1, True
+                fregs[d] = math.sqrt(value)
+                return nxt, -1, -1, -1, False
+
+            return h_fsqrt
+        if m in ("fneg", "fabs", "fmov"):
+            d = inst.dsts[0] - 32
+            a = inst.srcs[0] - 32
+            fn = {"fneg": lambda x: -x, "fabs": abs, "fmov": lambda x: x}[m]
+
+            def h_fp_un() -> tuple[int, int, int, int, bool]:
+                fregs[d] = fn(fregs[a])
+                return nxt, -1, -1, -1, False
+
+            return h_fp_un
+        if m == "fma":
+            d = inst.dsts[0] - 32
+            a, b, c = (s - 32 for s in inst.srcs)
+
+            def h_fma() -> tuple[int, int, int, int, bool]:
+                fregs[d] = fregs[a] * fregs[b] + fregs[c]
+                return nxt, -1, -1, -1, False
+
+            return h_fma
+        if m == "itof":
+            d = inst.dsts[0] - 32
+            a = inst.srcs[0]
+
+            def h_itof() -> tuple[int, int, int, int, bool]:
+                fregs[d] = float(regs[a])
+                return nxt, -1, -1, -1, False
+
+            return h_itof
+        if m == "ftoi":
+            d = inst.dsts[0]
+            a = inst.srcs[0] - 32
+
+            def h_ftoi() -> tuple[int, int, int, int, bool]:
+                value = fregs[a]
+                if value != value:  # NaN
+                    if d:
+                        regs[d] = 0
+                    return nxt, -1, -1, -1, True
+                if abs(value) > _FTOI_LIMIT:
+                    if d:
+                        regs[d] = (1 << 62) if value > 0 else -(1 << 62)
+                    return nxt, -1, -1, -1, True
+                if d:
+                    regs[d] = int(value)
+                return nxt, -1, -1, -1, False
+
+            return h_ftoi
+        if m == "fcmplt":
+            d = inst.dsts[0]
+            a, b = (s - 32 for s in inst.srcs)
+
+            def h_fcmplt() -> tuple[int, int, int, int, bool]:
+                if d:
+                    regs[d] = int(fregs[a] < fregs[b])
+                return nxt, -1, -1, -1, False
+
+            return h_fcmplt
+        if m == "fmovi":
+            d = inst.dsts[0] - 32
+            imm = float(inst.imm)
+
+            def h_fmovi() -> tuple[int, int, int, int, bool]:
+                fregs[d] = imm
+                return nxt, -1, -1, -1, False
+
+            return h_fmovi
+
+        # ---- memory ------------------------------------------------------
+        if op.is_mem:
+            mem = inst.mem
+            base = mem.base
+            idx_reg = mem.index
+            scale = mem.scale
+            offset = mem.offset
+            has_index = idx_reg >= 0
+            is_load = op.is_load
+            fp_data = op.fp_data
+            reg = (inst.dsts[0] if is_load else inst.srcs[0])
+            if fp_data:
+                reg -= 32
+
+            def h_mem() -> tuple[int, int, int, int, bool]:
+                addr = regs[base] + offset
+                if has_index:
+                    addr += regs[idx_reg] * scale
+                fault = False
+                if addr & 7:
+                    addr &= ~7
+                    fault = True
+                if addr < 0:
+                    addr = 0
+                    fault = True
+                if is_load:
+                    if fp_data:
+                        fregs[reg] = memory.read_float(addr)
+                    elif reg:
+                        regs[reg] = memory.read_word(addr)
+                else:
+                    if fp_data:
+                        memory.write_float(addr, fregs[reg])
+                    else:
+                        memory.write_word(addr, regs[reg])
+                return nxt, addr, -1, -1, fault
+
+            return h_mem
+
+        # ---- control -----------------------------------------------------
+        if op.is_conditional:
+            target_pc = int(inst.target)
+            target_idx = program.index_of(target_pc)
+            if op.cond in ("eqz", "nez"):
+                a = inst.srcs[0]
+                want_zero = op.cond == "eqz"
+
+                def h_brz() -> tuple[int, int, int, int, bool]:
+                    taken = (regs[a] == 0) == want_zero
+                    return (
+                        target_idx if taken else nxt,
+                        -1,
+                        int(taken),
+                        target_pc,
+                        False,
+                    )
+
+                return h_brz
+            cond = _COND[op.cond]
+            a, b = inst.srcs
+
+            def h_br() -> tuple[int, int, int, int, bool]:
+                taken = cond(regs[a], regs[b])
+                return (
+                    target_idx if taken else nxt,
+                    -1,
+                    int(taken),
+                    target_pc,
+                    False,
+                )
+
+            return h_br
+        if m == "jmp":
+            target_pc = int(inst.target)
+            target_idx = program.index_of(target_pc)
+
+            def h_jmp() -> tuple[int, int, int, int, bool]:
+                return target_idx, -1, 1, target_pc, False
+
+            return h_jmp
+        if m == "call":
+            target_pc = int(inst.target)
+            target_idx = program.index_of(target_pc)
+            return_pc = program.pc_of(index) + INST_BYTES
+
+            def h_call() -> tuple[int, int, int, int, bool]:
+                regs[LR] = return_pc
+                return target_idx, -1, 1, target_pc, False
+
+            return h_call
+        if m in ("jr", "ret"):
+            a = LR if m == "ret" else inst.srcs[0]
+
+            def h_jr() -> tuple[int, int, int, int, bool]:
+                pc = regs[a]
+                try:
+                    target_idx = program.index_of(pc)
+                except ValueError as exc:
+                    raise VMError(f"indirect jump to bad pc {pc:#x}") from exc
+                return target_idx, -1, 1, pc, False
+
+            return h_jr
+        if m in ("fence", "nop"):
+
+            def h_nop() -> tuple[int, int, int, int, bool]:
+                return nxt, -1, -1, -1, False
+
+            return h_nop
+        if m == "halt":
+
+            def h_halt() -> tuple[int, int, int, int, bool]:
+                return -1, -1, -1, -1, False
+
+            return h_halt
+
+        raise VMError(f"no handler for opcode {m!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Program,
+        max_instructions: int = 1_000_000,
+        name: str | None = None,
+    ) -> Trace:
+        """Execute ``program``, returning its dynamic trace.
+
+        Execution stops at ``halt`` or after ``max_instructions`` dynamic
+        instructions (the analogue of the paper's 100M-instruction gem5
+        simulation cap).
+        """
+        if max_instructions <= 0:
+            raise ValueError("max_instructions must be positive")
+        self.reset(program)
+        handlers = [
+            self._compile(inst, i, program) for i, inst in enumerate(program.code)
+        ]
+        code = program.code
+        pcs = [program.pc_of(i) for i in range(len(code))]
+        builder = TraceBuilder(name or program.name)
+        append = builder.append
+        idx = program.index_of(program.entry)
+        count = 0
+        while count < max_instructions:
+            inst = code[idx]
+            nxt, mem_addr, taken, target, fault = handlers[idx]()
+            append(
+                pcs[idx],
+                inst.op.opid,
+                inst.src_slots,
+                inst.dst_slots,
+                mem_addr,
+                taken,
+                target,
+                fault,
+            )
+            count += 1
+            if nxt < 0:
+                self.halted = True
+                break
+            if nxt >= len(code):
+                raise VMError("execution fell off the end of the code segment")
+            idx = nxt
+        return builder.finalize()
+
+
+def run_program(
+    program: Program, max_instructions: int = 1_000_000, name: str | None = None
+) -> Trace:
+    """Run ``program`` on a fresh machine and return its trace."""
+    return Machine().run(program, max_instructions=max_instructions, name=name)

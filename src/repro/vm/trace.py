@@ -1,0 +1,177 @@
+"""Dynamic instruction trace as a structure of arrays.
+
+A :class:`Trace` holds everything downstream consumers need:
+
+* the timing simulator (:mod:`repro.sim`) reads pcs, op classes, operand
+  slots, memory addresses and resolved branch targets;
+* the feature encoder (:mod:`repro.features`) additionally reads the
+  branch-taken bits and fault flags (Table I "execution behaviour").
+
+Per-opcode property lookup tables (``OP_*``) let consumers derive boolean
+masks (is-load, is-conditional-branch, ...) with a single fancy-indexing
+operation instead of storing redundant columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.isa.instructions import MAX_DST_SLOTS, MAX_SRC_SLOTS
+from repro.isa.opcodes import OPCODE_BY_ID, OpClass
+
+
+def _op_table(predicate) -> np.ndarray:
+    return np.array([predicate(spec) for spec in OPCODE_BY_ID], dtype=bool)
+
+
+#: Per-opcode-id property tables (index with ``trace.opid``).
+OP_CLASS = np.array([spec.opclass for spec in OPCODE_BY_ID], dtype=np.int8)
+OP_IS_BRANCH = _op_table(lambda s: s.is_branch)
+OP_IS_COND = _op_table(lambda s: s.is_conditional)
+OP_IS_DIRECT = _op_table(lambda s: s.is_direct)
+OP_IS_INDIRECT = _op_table(lambda s: s.is_indirect)
+OP_IS_LOAD = _op_table(lambda s: s.is_load)
+OP_IS_STORE = _op_table(lambda s: s.is_store)
+OP_IS_MEM = _op_table(lambda s: s.is_mem)
+OP_IS_BARRIER = _op_table(lambda s: s.opclass is OpClass.BARRIER)
+OP_FP_DATA = _op_table(lambda s: s.fp_data)
+
+
+@dataclass(frozen=True)
+class Trace:
+    """Immutable dynamic execution trace (structure of arrays)."""
+
+    name: str
+    pc: np.ndarray  # int64 [n]
+    opid: np.ndarray  # int16 [n]
+    src_slots: np.ndarray  # int16 [n, 8], REG_NONE padded
+    dst_slots: np.ndarray  # int16 [n, 6], REG_NONE padded
+    mem_addr: np.ndarray  # int64 [n], -1 where not a memory op
+    branch_taken: np.ndarray  # int8 [n], -1 non-branch / 0 / 1
+    branch_target: np.ndarray  # int64 [n], -1 where unknown/not a branch
+    fault: np.ndarray  # bool [n]
+
+    def __post_init__(self) -> None:
+        n = len(self.pc)
+        for field_name in (
+            "opid", "mem_addr", "branch_taken", "branch_target", "fault",
+        ):
+            if len(getattr(self, field_name)) != n:
+                raise ValueError(f"trace field {field_name} length mismatch")
+        if self.src_slots.shape != (n, MAX_SRC_SLOTS):
+            raise ValueError("src_slots shape mismatch")
+        if self.dst_slots.shape != (n, MAX_DST_SLOTS):
+            raise ValueError("dst_slots shape mismatch")
+
+    def __len__(self) -> int:
+        return len(self.pc)
+
+    # ---- derived masks -------------------------------------------------
+    @property
+    def opclass(self) -> np.ndarray:
+        return OP_CLASS[self.opid]
+
+    @property
+    def is_branch(self) -> np.ndarray:
+        return OP_IS_BRANCH[self.opid]
+
+    @property
+    def is_cond_branch(self) -> np.ndarray:
+        return OP_IS_COND[self.opid]
+
+    @property
+    def is_load(self) -> np.ndarray:
+        return OP_IS_LOAD[self.opid]
+
+    @property
+    def is_store(self) -> np.ndarray:
+        return OP_IS_STORE[self.opid]
+
+    @property
+    def is_mem(self) -> np.ndarray:
+        return OP_IS_MEM[self.opid]
+
+    def head(self, n: int) -> "Trace":
+        """First ``n`` instructions as a new trace (a view, not a copy)."""
+        return Trace(
+            name=self.name,
+            pc=self.pc[:n],
+            opid=self.opid[:n],
+            src_slots=self.src_slots[:n],
+            dst_slots=self.dst_slots[:n],
+            mem_addr=self.mem_addr[:n],
+            branch_taken=self.branch_taken[:n],
+            branch_target=self.branch_target[:n],
+            fault=self.fault[:n],
+        )
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate mix statistics (useful in tests and workload docs)."""
+        n = max(len(self), 1)
+        branches = self.is_cond_branch
+        taken = self.branch_taken == 1
+        return {
+            "instructions": float(len(self)),
+            "load_frac": float(self.is_load.sum()) / n,
+            "store_frac": float(self.is_store.sum()) / n,
+            "branch_frac": float(branches.sum()) / n,
+            "taken_frac": float((branches & taken).sum()) / max(int(branches.sum()), 1),
+            "fp_frac": float(np.isin(self.opclass, (3, 4, 5)).sum()) / n,
+            "fault_frac": float(self.fault.sum()) / n,
+        }
+
+
+class TraceBuilder:
+    """Accumulates per-instruction records and finalizes into a Trace."""
+
+    def __init__(self, name: str = "trace") -> None:
+        self.name = name
+        self._pc: list[int] = []
+        self._opid: list[int] = []
+        self._src: list[tuple[int, ...]] = []
+        self._dst: list[tuple[int, ...]] = []
+        self._mem: list[int] = []
+        self._taken: list[int] = []
+        self._target: list[int] = []
+        self._fault: list[bool] = []
+
+    def __len__(self) -> int:
+        return len(self._pc)
+
+    def append(
+        self,
+        pc: int,
+        opid: int,
+        src_slots: tuple[int, ...],
+        dst_slots: tuple[int, ...],
+        mem_addr: int = -1,
+        taken: int = -1,
+        target: int = -1,
+        fault: bool = False,
+    ) -> None:
+        self._pc.append(pc)
+        self._opid.append(opid)
+        self._src.append(src_slots)
+        self._dst.append(dst_slots)
+        self._mem.append(mem_addr)
+        self._taken.append(taken)
+        self._target.append(target)
+        self._fault.append(fault)
+
+    def finalize(self) -> Trace:
+        n = len(self._pc)
+        if n == 0:
+            raise ValueError("empty trace")
+        return Trace(
+            name=self.name,
+            pc=np.asarray(self._pc, dtype=np.int64),
+            opid=np.asarray(self._opid, dtype=np.int16),
+            src_slots=np.asarray(self._src, dtype=np.int16).reshape(n, MAX_SRC_SLOTS),
+            dst_slots=np.asarray(self._dst, dtype=np.int16).reshape(n, MAX_DST_SLOTS),
+            mem_addr=np.asarray(self._mem, dtype=np.int64),
+            branch_taken=np.asarray(self._taken, dtype=np.int8),
+            branch_target=np.asarray(self._target, dtype=np.int64),
+            fault=np.asarray(self._fault, dtype=bool),
+        )

@@ -1,0 +1,31 @@
+"""Workload suite.
+
+The paper trains and tests PerfVec on 17 SPEC CPU2017 benchmarks compiled to
+ARMv8 (Table II).  SPEC binaries cannot ship offline, so each benchmark is
+re-created as a mini-ASM kernel whose *dominant execution behaviour* matches
+its SPEC counterpart (pointer chasing for ``505.mcf``, lattice streaming for
+``519.lbm``, indirect-branch state machines for ``502.gcc``, ...).  The suite
+keeps the paper's exact train/test split.
+"""
+
+from repro.workloads.suite import (
+    ALL_BENCHMARKS,
+    BENCHMARKS,
+    TEST_BENCHMARKS,
+    TRAIN_BENCHMARKS,
+    WorkloadSpec,
+    build_program,
+    get_trace,
+    trace_benchmark,
+)
+
+__all__ = [
+    "ALL_BENCHMARKS",
+    "BENCHMARKS",
+    "TEST_BENCHMARKS",
+    "TRAIN_BENCHMARKS",
+    "WorkloadSpec",
+    "build_program",
+    "get_trace",
+    "trace_benchmark",
+]

@@ -1,0 +1,32 @@
+"""Workload kernels, one module per behaviour family.
+
+Each kernel function returns an assembled :class:`~repro.isa.program.Program`
+parameterized by problem size, tiling, repetition count and RNG seed.  The
+``reps`` parameter wraps the kernel body in an outer loop so traces can be cut
+at any instruction budget (the analogue of the paper's 100M-instruction gem5
+window); kernels used for functional correctness tests run with ``reps=1``.
+"""
+
+from repro.workloads.kernels import (  # noqa: F401
+    compress,
+    graph,
+    linear_algebra,
+    media,
+    physics,
+    random_gen,
+    sort_search,
+    stencil,
+    strings,
+)
+
+__all__ = [
+    "compress",
+    "graph",
+    "linear_algebra",
+    "media",
+    "physics",
+    "random_gen",
+    "sort_search",
+    "stencil",
+    "strings",
+]

@@ -1,0 +1,88 @@
+"""Compression kernel (``557.xz``).
+
+LZ77-style match finding: a hash of the next two symbols selects a candidate
+position from a hash-head table, a byte-compare loop measures the match
+length, and the table is updated — mixing hashing arithmetic, dependent
+loads and two nested data-dependent loops, like the xz match finder.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program, assemble
+from repro.workloads.builders import data_int, fresh_label, outer_repeat, py_lcg
+
+
+def xz(
+    n: int = 4096,
+    hash_bits: int = 10,
+    max_match: int = 16,
+    alphabet: int = 12,
+    reps: int = 1,
+    seed: int = 57005,
+) -> Program:
+    """LZ match-finding sweep over a small-alphabet symbol buffer."""
+    if n < 8 or not 4 <= hash_bits <= 16 or max_match < 2:
+        raise ValueError("bad xz parameters")
+    table_size = 1 << hash_bits
+    mask = table_size - 1
+    loop, have_cand, matchloop, matchdone, nextpos = (
+        fresh_label("xz"),
+        fresh_label("xz_cand"),
+        fresh_label("xz_m"),
+        fresh_label("xz_md"),
+        fresh_label("xz_next"),
+    )
+    body = f"""
+    movi r1, 1
+    movi r3, 0
+{loop}:
+    ; h = (sym[pos]*33 + sym[pos+1]) & mask
+    ld   r10, [r7 + r1*8]
+    muli r10, r10, 33
+    addi r12, r1, 1
+    ld   r11, [r7 + r12*8]
+    add  r10, r10, r11
+    andi r10, r10, {mask}
+    ; candidate from head table, then update head
+    ld   r2, [r8 + r10*8]
+    st   r1, [r8 + r10*8]
+    beqz r2, {nextpos}
+    bge  r2, r1, {nextpos}
+{have_cand}:
+    ; match length loop
+    movi r4, 0
+{matchloop}:
+    add  r12, r1, r4
+    bge  r12, r22, {matchdone}
+    add  r13, r2, r4
+    ld   r10, [r7 + r12*8]
+    ld   r11, [r7 + r13*8]
+    bne  r10, r11, {matchdone}
+    addi r4, r4, 1
+    blt  r4, r21, {matchloop}
+{matchdone}:
+    add  r3, r3, r4
+{nextpos}:
+    addi r1, r1, 1
+    blt  r1, r23, {loop}
+    st   r3, [r9]
+"""
+    syms = py_lcg(seed, n, alphabet)
+    text = f"""
+.data
+{data_int("xz_syms", syms)}
+xz_head: .space {8 * table_size}
+xz_out:  .space 8
+.text
+main:
+    movi r21, {max_match}
+    movi r22, {n - 1}
+    movi r23, {n - 2}
+    movi r7, xz_syms
+    movi r8, xz_head
+    movi r9, xz_out
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"xz_n{n}")

@@ -1,0 +1,170 @@
+"""Irregular-memory kernels (the ``505.mcf`` family).
+
+``mcf`` performs arc relaxations over randomly wired endpoints — scattered
+dependent loads and a data-dependent store, the classic minimum-cost-flow
+inner loop.  ``pointer_chase`` walks an affine permutation linked list, the
+canonical latency-bound access pattern.  ``xalancbmk`` is a DOM-style tree
+walk.  All input arrays live in the data segment so traces start hot.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program, assemble
+from repro.workloads.builders import data_int, fresh_label, outer_repeat, py_lcg
+
+
+def mcf(
+    n_nodes: int = 2048, n_arcs: int = 6144, reps: int = 1, seed: int = 31337
+) -> Program:
+    """Bellman-Ford-style arc relaxation sweep over a random graph."""
+    if n_nodes <= 1 or n_arcs <= 0:
+        raise ValueError("need at least 2 nodes and 1 arc")
+    loop, skip = fresh_label("mcf"), fresh_label("mcf_skip")
+    body = f"""
+    movi r1, 0
+{loop}:
+    ld   r10, [r7 + r1*8]
+    ld   r11, [r8 + r1*8]
+    ld   r12, [r13 + r10*8]
+    ld   r16, [r9 + r1*8]
+    add  r12, r12, r16
+    ld   r17, [r13 + r11*8]
+    bge  r12, r17, {skip}
+    st   r12, [r13 + r11*8]
+{skip}:
+    addi r1, r1, 1
+    blt  r1, r21, {loop}
+"""
+    stream = py_lcg(seed, 3 * n_arcs)
+    src = [v % n_nodes for v in stream[:n_arcs]]
+    dst = [v % n_nodes for v in stream[n_arcs : 2 * n_arcs]]
+    cost = [v % 255 + 1 for v in stream[2 * n_arcs :]]
+    dist = [0] + [1 << 40] * (n_nodes - 1)
+    text = f"""
+.data
+{data_int("mcf_src", src)}
+{data_int("mcf_dst", dst)}
+{data_int("mcf_cost", cost)}
+{data_int("mcf_dist", dist)}
+.text
+main:
+    movi r20, {n_nodes}
+    movi r21, {n_arcs}
+    movi r7, mcf_src
+    movi r8, mcf_dst
+    movi r9, mcf_cost
+    movi r13, mcf_dist
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"mcf_n{n_nodes}_a{n_arcs}")
+
+
+def pointer_chase(
+    n: int = 4096, steps: int = 4096, reps: int = 1, seed: int = 4242
+) -> Program:
+    """Chase an affine-permutation linked list, accumulating payloads.
+
+    ``n`` must be a power of two; the successor function ``next[i] =
+    (a*i + c) mod n`` with odd ``a`` is a bijection, so the walk visits a
+    full cycle with near-zero spatial locality.
+    """
+    if n & (n - 1) or n <= 1:
+        raise ValueError("n must be a power of two > 1")
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    loop = fresh_label("pc")
+    body = f"""
+    movi r2, 0
+    movi r1, 0
+{loop}:
+    ld   r2, [r7 + r2*8]
+    ld   r10, [r8 + r2*8]
+    add  r3, r3, r10
+    addi r1, r1, 1
+    blt  r1, r24, {loop}
+"""
+    nxt = [(2654435761 * i + 97) & (n - 1) for i in range(n)]
+    val = [v % 1023 for v in py_lcg(seed, n)]
+    text = f"""
+.data
+{data_int("pc_next", nxt)}
+{data_int("pc_val", val)}
+.text
+main:
+    movi r24, {steps}
+    movi r7, pc_next
+    movi r8, pc_val
+    movi r3, 0
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"pointer_chase_n{n}")
+
+
+def xalancbmk(
+    n_nodes: int = 4096, fanout: int = 4, reps: int = 1, seed: int = 555
+) -> Program:
+    """DOM-style tree walk (``523.xalancbmk``).
+
+    A complete ``fanout``-ary tree is laid out in implicit heap order; a DFS
+    with an explicit stack visits every node, accumulating a transform of its
+    payload.  Mixed pointer-ish loads, short branchy inner loops.
+    """
+    if n_nodes <= 1 or fanout < 2:
+        raise ValueError("need n_nodes > 1 and fanout >= 2")
+    loop, kids, push_done, done = (
+        fresh_label("xa"),
+        fresh_label("xa_kids"),
+        fresh_label("xa_pd"),
+        fresh_label("xa_done"),
+    )
+    body = f"""
+    ; stack := [root]
+    movi r1, 1
+    st   r0, [r9]
+    movi r3, 0
+{loop}:
+    beqz r1, {done}
+    subi r1, r1, 1
+    ld   r2, [r9 + r1*8]
+    ; visit: acc += (val[node] ^ salt)
+    ld   r10, [r8 + r2*8]
+    xori r10, r10, 0x5a
+    add  r3, r3, r10
+    ; push children fanout*node + k for k = 1..fanout while < n
+    muli r11, r2, {fanout}
+    movi r12, 1
+{kids}:
+    add  r13, r11, r12
+    bge  r13, r20, {push_done}
+    st   r13, [r9 + r1*8]
+    addi r1, r1, 1
+    addi r12, r12, 1
+    bge  r12, r21, {push_done}
+    jmp  {kids}
+{push_done}:
+    jmp  {loop}
+{done}:
+    st   r3, [r16]
+"""
+    val = [v % 65536 for v in py_lcg(seed, n_nodes)]
+    text = f"""
+.data
+{data_int("xa_val", val)}
+xa_stack: .space {8 * (n_nodes + fanout + 2)}
+xa_out:   .space 8
+.text
+main:
+    movi r20, {n_nodes}
+    movi r21, {fanout + 1}
+    movi r8, xa_val
+    movi r9, xa_stack
+    movi r16, xa_out
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"xalancbmk_n{n_nodes}")

@@ -1,0 +1,194 @@
+"""Dense linear-algebra kernels.
+
+``matmul`` is the loop-tiling subject of the paper's Fig. 8; ``dot``,
+``axpy`` and ``matvec`` are smaller kernels used by examples and tests.
+Input arrays are materialized in the data segment (generated with the same
+LCG the ASM-side helpers use) so traces start inside the hot loops.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program, assemble
+from repro.workloads.builders import data_fp, fresh_label, outer_repeat, random_fp
+
+
+def matmul(n: int = 24, tile: int = 8, reps: int = 1, seed: int = 12345) -> Program:
+    """Tiled matrix multiply ``C += A @ B`` on ``n x n`` float64 matrices.
+
+    ``tile`` blocks all three loops uniformly, exactly as in Sec. VI-B of the
+    paper ("a uniform tile size is adopted for simplicity").  ``tile`` must
+    divide ``n``.
+    """
+    if n <= 0 or tile <= 0:
+        raise ValueError("n and tile must be positive")
+    if n % tile:
+        raise ValueError(f"tile {tile} must divide n {n}")
+    lii, ljj, lkk = fresh_label("mm_ii"), fresh_label("mm_jj"), fresh_label("mm_kk")
+    li, lj, lk = fresh_label("mm_i"), fresh_label("mm_j"), fresh_label("mm_k")
+    body = f"""
+    movi r1, 0
+{lii}:
+    add  r17, r1, r21
+    movi r2, 0
+{ljj}:
+    add  r18, r2, r21
+    movi r3, 0
+{lkk}:
+    add  r19, r3, r21
+    mov  r4, r1
+{li}:
+    mov  r5, r2
+{lj}:
+    mul  r12, r4, r20
+    add  r12, r12, r5
+    fld  f3, [r9 + r12*8]
+    mov  r6, r3
+{lk}:
+    mul  r10, r4, r20
+    add  r10, r10, r6
+    fld  f1, [r7 + r10*8]
+    mul  r11, r6, r20
+    add  r11, r11, r5
+    fld  f2, [r8 + r11*8]
+    fma  f3, f1, f2, f3
+    addi r6, r6, 1
+    blt  r6, r19, {lk}
+    fst  f3, [r9 + r12*8]
+    addi r5, r5, 1
+    blt  r5, r18, {lj}
+    addi r4, r4, 1
+    blt  r4, r17, {li}
+    add  r3, r3, r21
+    blt  r3, r20, {lkk}
+    add  r2, r2, r21
+    blt  r2, r20, {ljj}
+    add  r1, r1, r21
+    blt  r1, r20, {lii}
+"""
+    stream = random_fp(seed, 2 * n * n)
+    text = f"""
+.data
+{data_fp("mm_a", stream[: n * n])}
+{data_fp("mm_b", stream[n * n :])}
+mm_c: .space {8 * n * n}
+.text
+main:
+    movi r20, {n}
+    movi r21, {tile}
+    movi r7, mm_a
+    movi r8, mm_b
+    movi r9, mm_c
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"matmul_n{n}_t{tile}")
+
+
+def dot(n: int = 4096, reps: int = 1, seed: int = 777) -> Program:
+    """Dot product of two length-``n`` vectors (fma-dominated streaming)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    loop = fresh_label("dot")
+    body = f"""
+    movi r1, 0
+    fmovi f3, 0.0
+{loop}:
+    fld  f1, [r7 + r1*8]
+    fld  f2, [r8 + r1*8]
+    fma  f3, f1, f2, f3
+    addi r1, r1, 1
+    blt  r1, r22, {loop}
+    fst  f3, [r9]
+"""
+    stream = random_fp(seed, 2 * n)
+    text = f"""
+.data
+{data_fp("dot_x", stream[:n])}
+{data_fp("dot_y", stream[n:])}
+dot_out: .space 8
+.text
+main:
+    movi r22, {n}
+    movi r7, dot_x
+    movi r8, dot_y
+    movi r9, dot_out
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"dot_n{n}")
+
+
+def axpy(n: int = 4096, alpha: float = 1.5, reps: int = 1, seed: int = 778) -> Program:
+    """``y += alpha * x`` (load/store streaming with one fma per element)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    loop = fresh_label("axpy")
+    body = f"""
+    movi r1, 0
+    fmovi f4, {alpha!r}
+{loop}:
+    fld  f1, [r7 + r1*8]
+    fld  f2, [r8 + r1*8]
+    fma  f2, f4, f1, f2
+    fst  f2, [r8 + r1*8]
+    addi r1, r1, 1
+    blt  r1, r22, {loop}
+"""
+    stream = random_fp(seed, 2 * n)
+    text = f"""
+.data
+{data_fp("axpy_x", stream[:n])}
+{data_fp("axpy_y", stream[n:])}
+.text
+main:
+    movi r22, {n}
+    movi r7, axpy_x
+    movi r8, axpy_y
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"axpy_n{n}")
+
+
+def matvec(n: int = 96, reps: int = 1, seed: int = 779) -> Program:
+    """Dense matrix-vector product ``y = A x`` (row-major streaming)."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    li, lj = fresh_label("mv_i"), fresh_label("mv_j")
+    body = f"""
+    movi r1, 0
+{li}:
+    fmovi f3, 0.0
+    mul  r10, r1, r20
+    movi r2, 0
+{lj}:
+    add  r11, r10, r2
+    fld  f1, [r7 + r11*8]
+    fld  f2, [r8 + r2*8]
+    fma  f3, f1, f2, f3
+    addi r2, r2, 1
+    blt  r2, r20, {lj}
+    fst  f3, [r9 + r1*8]
+    addi r1, r1, 1
+    blt  r1, r20, {li}
+"""
+    stream = random_fp(seed, n * n + n)
+    text = f"""
+.data
+{data_fp("mv_a", stream[: n * n])}
+{data_fp("mv_x", stream[n * n :])}
+mv_y: .space {8 * n}
+.text
+main:
+    movi r20, {n}
+    movi r7, mv_a
+    movi r8, mv_x
+    movi r9, mv_y
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"matvec_n{n}")

@@ -1,0 +1,174 @@
+"""Media-processing kernels.
+
+``x264`` is an 8x8 sum-of-absolute-differences motion search over a small
+reference frame (integer-dominated, tight inner loops, a running minimum),
+``imagick`` a 3x3 floating-point convolution with output clamping.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program, assemble
+from repro.workloads.builders import (
+    data_fp,
+    data_int,
+    fresh_label,
+    outer_repeat,
+    py_lcg,
+    random_fp,
+)
+
+
+def x264(
+    frame: int = 48, block: int = 8, search: int = 4, reps: int = 1, seed: int = 264
+) -> Program:
+    """SAD motion search of one block over a ``(2*search+1)^2`` window."""
+    if frame < block + 2 * search + 2:
+        raise ValueError("frame too small for block + search window")
+    ldy, ldx, li, lj = (
+        fresh_label("x264_dy"),
+        fresh_label("x264_dx"),
+        fresh_label("x264_i"),
+        fresh_label("x264_j"),
+    )
+    better = fresh_label("x264_bet")
+    noswap = fresh_label("x264_ns")
+    # r20=frame, r21=block, r22=search span (2*search+1), r23=origin offset
+    body = f"""
+    movi r3, {1 << 40}
+    movi r1, 0
+{ldy}:
+    movi r2, 0
+{ldx}:
+    movi r4, 0
+    movi r5, 0
+{li}:
+    ; row bases: cur row = (origin+i)*frame + origin ; ref row = (i+dy)*frame + dx
+    add  r10, r5, r24
+    mul  r10, r10, r20
+    add  r10, r10, r24
+    add  r11, r5, r1
+    mul  r11, r11, r20
+    add  r11, r11, r2
+    movi r6, 0
+{lj}:
+    add  r12, r10, r6
+    ld   r13, [r7 + r12*8]
+    add  r12, r11, r6
+    ld   r14, [r8 + r12*8]
+    sub  r13, r13, r14
+    sub  r14, r0, r13
+    max  r13, r13, r14
+    add  r4, r4, r13
+    addi r6, r6, 1
+    blt  r6, r21, {lj}
+    addi r5, r5, 1
+    blt  r5, r21, {li}
+    blt  r4, r3, {better}
+    jmp  {noswap}
+{better}:
+    mov  r3, r4
+{noswap}:
+    addi r2, r2, 1
+    blt  r2, r22, {ldx}
+    addi r1, r1, 1
+    blt  r1, r22, {ldy}
+    st   r3, [r9]
+"""
+    pixels = frame * frame
+    stream = py_lcg(seed, 2 * pixels, 256)
+    text = f"""
+.data
+{data_int("x264_cur", stream[:pixels])}
+{data_int("x264_ref", stream[pixels:])}
+x264_out: .space 8
+.text
+main:
+    movi r20, {frame}
+    movi r21, {block}
+    movi r22, {2 * search + 1}
+    movi r24, {search + 1}
+    movi r7, x264_cur
+    movi r8, x264_ref
+    movi r9, x264_out
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"x264_f{frame}")
+
+
+def imagick(w: int = 40, h: int = 40, reps: int = 1, seed: int = 538) -> Program:
+    """3x3 box-ish convolution with clamping to [0, 1] (fmin/fmax)."""
+    if w < 3 or h < 3:
+        raise ValueError("image must be at least 3x3")
+    li, lj = fresh_label("im_i"), fresh_label("im_j")
+    body = f"""
+    movi r1, 1
+{li}:
+    mul  r10, r1, r21
+    movi r2, 1
+{lj}:
+    add  r11, r10, r2
+    ; 3x3 neighbourhood, kernel = [.05 .1 .05 / .1 .4 .1 / .05 .1 .05]
+    fld  f1, [r7 + r11*8]
+    fmul f6, f1, f10
+    subi r12, r11, 1
+    fld  f2, [r7 + r12*8]
+    addi r12, r11, 1
+    fld  f3, [r7 + r12*8]
+    sub  r12, r11, r21
+    fld  f4, [r7 + r12*8]
+    add  r12, r11, r21
+    fld  f5, [r7 + r12*8]
+    fadd f2, f2, f3
+    fadd f4, f4, f5
+    fadd f2, f2, f4
+    fma  f6, f2, f11, f6
+    sub  r12, r11, r21
+    subi r12, r12, 1
+    fld  f2, [r7 + r12*8]
+    addi r12, r12, 2
+    fld  f3, [r7 + r12*8]
+    add  r12, r11, r21
+    subi r12, r12, 1
+    fld  f4, [r7 + r12*8]
+    addi r12, r12, 2
+    fld  f5, [r7 + r12*8]
+    fadd f2, f2, f3
+    fadd f4, f4, f5
+    fadd f2, f2, f4
+    fma  f6, f2, f12, f6
+    fmax f6, f6, f8
+    fmin f6, f6, f9
+    fst  f6, [r8 + r11*8]
+    addi r2, r2, 1
+    blt  r2, r23, {lj}
+    addi r1, r1, 1
+    blt  r1, r22, {li}
+    mov  r12, r7
+    mov  r7, r8
+    mov  r8, r12
+"""
+    pixels = w * h
+    text = f"""
+.data
+{data_fp("im_a", random_fp(seed, pixels))}
+im_b: .space {8 * pixels}
+.text
+main:
+    movi r20, {w}
+    movi r21, {h}
+    movi r22, {w - 1}
+    movi r23, {h - 1}
+    movi r7, im_a
+    movi r8, im_b
+    fmovi f8, 0.0
+    fmovi f9, 1.0
+    fmovi f10, 0.4
+    fmovi f11, 0.1
+    fmovi f12, 0.05
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"imagick_{w}x{h}")

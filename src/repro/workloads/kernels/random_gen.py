@@ -1,0 +1,47 @@
+"""Pseudo-random number generation kernel (``999.specrand``).
+
+A tight LCG loop storing draws to a buffer with a parity branch — nearly
+pure integer ALU with a single predictable store stream, the simplest
+behaviour point in the suite (exactly the role 999.specrand plays in SPEC).
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program, assemble
+from repro.workloads.builders import fresh_label, lcg_step, outer_repeat
+
+
+def specrand(n: int = 4096, reps: int = 1, seed: int = 999) -> Program:
+    """Generate ``n`` pseudo-random words per repetition, counting odd draws."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    loop, even = fresh_label("sr"), fresh_label("sr_even")
+    body = f"""
+    movi r1, 0
+    movi r3, 0
+{loop}:
+    {lcg_step("r10")}
+    st   r10, [r7 + r1*8]
+    andi r11, r10, 1
+    beqz r11, {even}
+    addi r3, r3, 1
+{even}:
+    addi r1, r1, 1
+    blt  r1, r20, {loop}
+    st   r3, [r9]
+"""
+    text = f"""
+.data
+sr_buf: .space {8 * n}
+sr_out: .space 8
+.text
+main:
+    movi r30, {seed}
+    movi r20, {n}
+    movi r7, sr_buf
+    movi r9, sr_out
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"specrand_n{n}")

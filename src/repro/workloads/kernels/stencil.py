@@ -1,0 +1,259 @@
+"""Structured-grid floating-point kernels.
+
+``wrf`` (2D 5-point), ``fotonik3d`` (3D 7-point) and ``lbm`` (D2Q5 lattice
+Boltzmann streaming) stand in for their SPEC CPU2017 namesakes: regular
+FP-heavy sweeps whose working sets are sized to stress different cache
+levels.  ``lbm`` is deliberately the most bandwidth-bound kernel of the suite
+(five loads + five scattered stores per cell plus one divide), matching its
+role as the hard-to-generalize outlier in the paper's Fig. 3.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program, assemble
+from repro.workloads.builders import data_fp, fresh_label, outer_repeat, random_fp
+
+
+def wrf(nx: int = 40, ny: int = 40, reps: int = 1, seed: int = 2021) -> Program:
+    """Damped 2D 5-point stencil sweep with double buffering."""
+    if nx < 3 or ny < 3:
+        raise ValueError("grid must be at least 3x3")
+    li, lj = fresh_label("wrf_i"), fresh_label("wrf_j")
+    body = f"""
+    movi r1, 1
+{li}:
+    mul  r10, r1, r21
+    movi r2, 1
+{lj}:
+    add  r11, r10, r2
+    fld  f1, [r7 + r11*8]
+    subi r12, r11, 1
+    fld  f2, [r7 + r12*8]
+    addi r12, r11, 1
+    fld  f3, [r7 + r12*8]
+    sub  r12, r11, r21
+    fld  f4, [r7 + r12*8]
+    add  r12, r11, r21
+    fld  f5, [r7 + r12*8]
+    fadd f2, f2, f3
+    fadd f4, f4, f5
+    fadd f2, f2, f4
+    fmul f2, f2, f10
+    fsub f2, f2, f1
+    fmul f2, f2, f11
+    fadd f2, f1, f2
+    fst  f2, [r8 + r11*8]
+    addi r2, r2, 1
+    blt  r2, r23, {lj}
+    addi r1, r1, 1
+    blt  r1, r22, {li}
+    mov  r12, r7
+    mov  r7, r8
+    mov  r8, r12
+"""
+    cells = nx * ny
+    text = f"""
+.data
+{data_fp("wrf_a", random_fp(seed, cells))}
+wrf_b: .space {8 * cells}
+.text
+main:
+    movi r20, {nx}
+    movi r21, {ny}
+    movi r22, {nx - 1}
+    movi r23, {ny - 1}
+    movi r7, wrf_a
+    movi r8, wrf_b
+    fmovi f10, 0.25
+    fmovi f11, 0.8
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"wrf_{nx}x{ny}")
+
+
+def fotonik3d(n: int = 12, reps: int = 1, seed: int = 2022) -> Program:
+    """3D 7-point stencil sweep on an ``n^3`` grid with double buffering."""
+    if n < 3:
+        raise ValueError("grid must be at least 3^3")
+    li, lj, lk = fresh_label("fo_i"), fresh_label("fo_j"), fresh_label("fo_k")
+    # plane stride r24 = n*n, row stride r21 = n
+    body = f"""
+    movi r1, 1
+{li}:
+    mul  r10, r1, r24
+    movi r2, 1
+{lj}:
+    mul  r13, r2, r21
+    add  r13, r10, r13
+    movi r3, 1
+{lk}:
+    add  r11, r13, r3
+    fld  f1, [r7 + r11*8]
+    subi r12, r11, 1
+    fld  f2, [r7 + r12*8]
+    addi r12, r11, 1
+    fld  f3, [r7 + r12*8]
+    sub  r12, r11, r21
+    fld  f4, [r7 + r12*8]
+    add  r12, r11, r21
+    fld  f5, [r7 + r12*8]
+    sub  r12, r11, r24
+    fld  f6, [r7 + r12*8]
+    add  r12, r11, r24
+    fld  f7, [r7 + r12*8]
+    fadd f2, f2, f3
+    fadd f4, f4, f5
+    fadd f6, f6, f7
+    fadd f2, f2, f4
+    fadd f2, f2, f6
+    fmul f2, f2, f10
+    fsub f2, f2, f1
+    fmul f2, f2, f11
+    fadd f2, f1, f2
+    fst  f2, [r8 + r11*8]
+    addi r3, r3, 1
+    blt  r3, r22, {lk}
+    addi r2, r2, 1
+    blt  r2, r22, {lj}
+    addi r1, r1, 1
+    blt  r1, r22, {li}
+    mov  r12, r7
+    mov  r7, r8
+    mov  r8, r12
+"""
+    cells = n * n * n
+    text = f"""
+.data
+{data_fp("fo_a", random_fp(seed, cells))}
+fo_b: .space {8 * cells}
+.text
+main:
+    movi r21, {n}
+    movi r22, {n - 1}
+    movi r24, {n * n}
+    movi r7, fo_a
+    movi r8, fo_b
+    fmovi f10, {1.0 / 6.0!r}
+    fmovi f11, 0.7
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"fotonik3d_{n}")
+
+
+def lbm(nx: int = 40, ny: int = 40, reps: int = 1, seed: int = 2023) -> Program:
+    """D2Q5 lattice-Boltzmann collide-and-stream sweep.
+
+    Five distribution arrays are read per cell, relaxed to equilibrium and
+    streamed into five neighbour cells of the back buffers; buffers swap each
+    sweep.  One ``fdiv`` per cell (the density inverse) plus ten memory ops
+    make this the suite's bandwidth/latency-bound outlier.
+    """
+    if nx < 3 or ny < 3:
+        raise ValueError("grid must be at least 3x3")
+    li, lj = fresh_label("lbm_i"), fresh_label("lbm_j")
+    body = f"""
+    movi r1, 1
+{li}:
+    mul  r10, r1, r21
+    movi r2, 1
+{lj}:
+    add  r11, r10, r2
+    fld  f1, [r3 + r11*8]
+    fld  f2, [r4 + r11*8]
+    fld  f3, [r5 + r11*8]
+    fld  f4, [r6 + r11*8]
+    fld  f5, [r7 + r11*8]
+    fadd f6, f1, f2
+    fadd f6, f6, f3
+    fadd f6, f6, f4
+    fadd f6, f6, f5
+    fdiv f7, f15, f6
+    fsub f8, f2, f4
+    fmul f8, f8, f7
+    fsub f9, f3, f5
+    fmul f9, f9, f7
+    fmul f13, f6, f10
+    fst  f13, [r8 + r11*8]
+    fmul f13, f8, f12
+    fadd f13, f13, f15
+    fmul f13, f13, f6
+    fmul f13, f13, f11
+    addi r12, r11, 1
+    fst  f13, [r9 + r12*8]
+    fmul f13, f9, f12
+    fadd f13, f13, f15
+    fmul f13, f13, f6
+    fmul f13, f13, f11
+    add  r12, r11, r21
+    fst  f13, [r16 + r12*8]
+    fmul f13, f8, f12
+    fsub f13, f15, f13
+    fmul f13, f13, f6
+    fmul f13, f13, f11
+    subi r12, r11, 1
+    fst  f13, [r17 + r12*8]
+    fmul f13, f9, f12
+    fsub f13, f15, f13
+    fmul f13, f13, f6
+    fmul f13, f13, f11
+    sub  r12, r11, r21
+    fst  f13, [r18 + r12*8]
+    addi r2, r2, 1
+    blt  r2, r23, {lj}
+    addi r1, r1, 1
+    blt  r1, r22, {li}
+    mov  r12, r3
+    mov  r3, r8
+    mov  r8, r12
+    mov  r12, r4
+    mov  r4, r9
+    mov  r9, r12
+    mov  r12, r5
+    mov  r5, r16
+    mov  r16, r12
+    mov  r12, r6
+    mov  r6, r17
+    mov  r17, r12
+    mov  r12, r7
+    mov  r7, r18
+    mov  r18, r12
+"""
+    cells = nx * ny
+    stream = random_fp(seed, 5 * cells)
+    a_arrays = "\n".join(
+        data_fp(f"lbm_a{k}", stream[k * cells : (k + 1) * cells]) for k in range(5)
+    )
+    b_arrays = "\n".join(f"lbm_b{k}: .space {8 * cells}" for k in range(5))
+    text = f"""
+.data
+{a_arrays}
+{b_arrays}
+.text
+main:
+    movi r20, {nx}
+    movi r21, {ny}
+    movi r22, {nx - 1}
+    movi r23, {ny - 1}
+    movi r3, lbm_a0
+    movi r4, lbm_a1
+    movi r5, lbm_a2
+    movi r6, lbm_a3
+    movi r7, lbm_a4
+    movi r8, lbm_b0
+    movi r9, lbm_b1
+    movi r16, lbm_b2
+    movi r17, lbm_b3
+    movi r18, lbm_b4
+    fmovi f10, {1.0 / 3.0!r}
+    fmovi f11, {1.0 / 6.0!r}
+    fmovi f12, 3.0
+    fmovi f15, 1.0
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"lbm_{nx}x{ny}")

@@ -1,0 +1,151 @@
+"""Symbolic / text-processing kernels.
+
+``perlbench`` is an open-addressing hash table churn (hashing, probe loops),
+``gcc`` is a token dispatch state machine driven through a jump table of
+indirect branches (``jr``) — the only kernel family dominated by indirect
+control flow, matching the compiler's switch-heavy front end.
+"""
+
+from __future__ import annotations
+
+from repro.isa import Program, assemble
+from repro.workloads.builders import data_int, fresh_label, lcg_step, outer_repeat, py_lcg
+
+
+def perlbench(
+    n_ops: int = 3072, table_bits: int = 12, reps: int = 1, seed: int = 60601
+) -> Program:
+    """Hash-table insert/lookup churn with linear probing.
+
+    The table is cleared at the start of every repetition and ``n_ops`` must
+    stay below the table size so linear probing always terminates.
+    """
+    if n_ops <= 0 or not 4 <= table_bits <= 20:
+        raise ValueError("bad perlbench parameters")
+    table_size = 1 << table_bits
+    if n_ops >= table_size:
+        raise ValueError("n_ops must be smaller than the table size")
+    mask = table_size - 1
+    loop, probe, hit, insert, nextop, clear = (
+        fresh_label("pl"),
+        fresh_label("pl_probe"),
+        fresh_label("pl_hit"),
+        fresh_label("pl_ins"),
+        fresh_label("pl_next"),
+        fresh_label("pl_clr"),
+    )
+    body = f"""
+    movi r1, 0
+{clear}:
+    st   r0, [r7 + r1*8]
+    addi r1, r1, 1
+    blt  r1, r22, {clear}
+    movi r1, 0
+    movi r3, 0
+{loop}:
+    ; key = lcg (nonzero), hash = fibonacci hash of key
+    {lcg_step("r10")}
+    ori  r10, r10, 1
+    muli r11, r10, -7046029254386353131
+    shri r11, r11, 33
+    andi r11, r11, {mask}
+{probe}:
+    ld   r12, [r7 + r11*8]
+    beqz r12, {insert}
+    beq  r12, r10, {hit}
+    addi r11, r11, 1
+    andi r11, r11, {mask}
+    jmp  {probe}
+{insert}:
+    st   r10, [r7 + r11*8]
+    jmp  {nextop}
+{hit}:
+    addi r3, r3, 1
+{nextop}:
+    addi r1, r1, 1
+    blt  r1, r21, {loop}
+    st   r3, [r9]
+"""
+    text = f"""
+.data
+pl_table: .space {8 * table_size}
+pl_out:   .space 8
+.text
+main:
+    movi r30, {seed}
+    movi r21, {n_ops}
+    movi r22, {table_size}
+    movi r7, pl_table
+    movi r9, pl_out
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"perlbench_{n_ops}ops")
+
+
+def gcc(n_tokens: int = 4096, reps: int = 1, seed: int = 70707) -> Program:
+    """Token dispatch state machine through a jump table (indirect branches).
+
+    Eight handler blocks each perform a distinct small computation and jump
+    back to the dispatch loop; the handler for each token is fetched from a
+    table built at startup, so every dispatch is a ``jr`` whose target the
+    BTB must learn.
+    """
+    if n_tokens <= 0:
+        raise ValueError("n_tokens must be positive")
+    n_handlers = 8
+    loop, done = fresh_label("gcc"), fresh_label("gcc_done")
+    handlers = [fresh_label(f"gcc_h{k}") for k in range(n_handlers)]
+    handler_ops = [
+        "addi r3, r3, 1",
+        "add  r3, r3, r10",
+        "xori r3, r3, 0x3f",
+        "shli r3, r3, 1",
+        "shri r3, r3, 1",
+        "sub  r3, r3, r10",
+        "ori  r3, r3, 2",
+        "andi r3, r3, 0xffffff",
+    ]
+    handler_blocks = "\n".join(
+        f"{label}:\n    {op}\n    jmp {loop}_next"
+        for label, op in zip(handlers, handler_ops)
+    )
+    table_build = "\n".join(
+        f"    movi r10, {label}\n    st   r10, [r8 + {8 * k}]"
+        for k, label in enumerate(handlers)
+    )
+    body = f"""
+    movi r1, 0
+    movi r3, 0
+{loop}:
+    ld   r10, [r7 + r1*8]
+    ld   r11, [r8 + r10*8]
+    jr   r11
+{loop}_next:
+    addi r1, r1, 1
+    blt  r1, r21, {loop}
+    st   r3, [r9]
+    jmp  {done}
+{handler_blocks}
+{done}:
+    nop
+"""
+    tokens = py_lcg(seed, n_tokens, n_handlers)
+    text = f"""
+.data
+{data_int("gcc_tokens", tokens)}
+gcc_table:  .space {8 * n_handlers}
+gcc_out:    .space 8
+.text
+main:
+    movi r21, {n_tokens}
+    movi r7, gcc_tokens
+    movi r8, gcc_table
+    movi r9, gcc_out
+{table_build}
+    movi r27, {reps}
+    {outer_repeat(body)}
+    halt
+"""
+    return assemble(text, name=f"gcc_{n_tokens}tok")

@@ -1,0 +1,106 @@
+"""Regression tree and AdaBoost.R2 tests."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.actboost import AdaBoostR2, stratified_sample
+from repro.baselines.trees import RegressionTree
+
+
+def piecewise_data(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = np.where(x[:, 0] > 0.2, 3.0, -1.0) + 0.5 * (x[:, 1] > 0)
+    return x, y
+
+
+def test_tree_fits_piecewise_constant():
+    x, y = piecewise_data()
+    tree = RegressionTree(max_depth=3).fit(x, y)
+    pred = tree.predict(x)
+    assert np.mean((pred - y) ** 2) < 0.01
+
+
+def test_tree_respects_max_depth():
+    x, y = piecewise_data()
+    tree = RegressionTree(max_depth=2).fit(x, y)
+    assert tree.depth <= 2
+
+
+def test_tree_constant_target_single_leaf():
+    x = np.random.default_rng(1).random((50, 3))
+    y = np.full(50, 7.0)
+    tree = RegressionTree(max_depth=4).fit(x, y)
+    assert tree.depth == 0
+    np.testing.assert_allclose(tree.predict(x), 7.0)
+
+
+def test_tree_sample_weights_bias_fit():
+    x = np.array([[0.0], [1.0]])
+    y = np.array([0.0, 10.0])
+    # weight forces the split; single-leaf average follows the weights
+    tree = RegressionTree(max_depth=1, min_leaf=1).fit(
+        np.vstack([x, x]), np.concatenate([y, y]),
+        sample_weight=np.array([1, 1, 1, 1.0]),
+    )
+    pred = tree.predict(np.array([[0.0], [1.0]]))
+    assert pred[0] < pred[1]
+
+
+def test_tree_validation():
+    with pytest.raises(ValueError):
+        RegressionTree(max_depth=0)
+    with pytest.raises(ValueError):
+        RegressionTree().fit(np.zeros((3, 2)), np.zeros(4))
+    with pytest.raises(RuntimeError):
+        RegressionTree().predict(np.zeros((2, 2)))
+
+
+def test_adaboost_beats_single_tree():
+    x, y = piecewise_data(400, seed=2)
+    y = y + 0.3 * np.sin(5 * x[:, 0])  # harder target
+    single = RegressionTree(max_depth=3).fit(x, y)
+    boost = AdaBoostR2(n_estimators=50, max_depth=3, seed=0).fit(x, y)
+    mse_single = np.mean((single.predict(x) - y) ** 2)
+    mse_boost = np.mean((boost.predict(x) - y) ** 2)
+    assert mse_boost < mse_single
+
+
+def test_adaboost_stops_when_weak_learners_saturate():
+    """AdaBoost.R2 stops once average loss reaches 0.5 — with depth-1
+    stumps on a 3-region target that happens within a few rounds."""
+    x, y = piecewise_data(400, seed=2)
+    y = y + 0.3 * np.sin(5 * x[:, 0])
+    boost = AdaBoostR2(n_estimators=50, max_depth=1, seed=0).fit(x, y)
+    assert 1 <= len(boost.trees) < 50
+
+
+def test_adaboost_perfect_fit_early_stop():
+    x = np.arange(16, dtype=float).reshape(-1, 1)
+    y = (x[:, 0] > 8).astype(float)
+    boost = AdaBoostR2(n_estimators=30, max_depth=2, seed=1).fit(x, y)
+    assert len(boost.trees) <= 30
+    assert np.mean((boost.predict(x) - y) ** 2) < 1e-6
+
+
+def test_adaboost_validation():
+    with pytest.raises(ValueError):
+        AdaBoostR2(n_estimators=0)
+    with pytest.raises(RuntimeError):
+        AdaBoostR2().predict(np.zeros((2, 2)))
+
+
+def test_stratified_sample_spreads_over_strata():
+    values = np.arange(36, dtype=float)
+    picks = stratified_sample(values, 8, bins=4, seed=0)
+    assert len(picks) == len(set(picks)) == 8
+    # at least one pick from each quartile
+    for lo in (0, 9, 18, 27):
+        assert any(lo <= p < lo + 9 for p in picks)
+
+
+def test_stratified_sample_validation():
+    with pytest.raises(ValueError):
+        stratified_sample(np.arange(4), 0)
+    with pytest.raises(ValueError):
+        stratified_sample(np.arange(4), 5)

@@ -1,0 +1,97 @@
+"""The compositionality theorem of Sec. III-B, verified numerically.
+
+With a bias-free linear predictor, the sum of per-instruction predictions
+equals the prediction from the summed (program) representation — exactly,
+up to floating-point accumulation order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.foundation import make_foundation
+from repro.core.perfvec import PerfVec
+from repro.core.predictor import MicroarchTable, TICK_SCALE
+from repro.features import encode_trace
+from repro.workloads import trace_benchmark
+
+
+@pytest.fixture(scope="module")
+def model():
+    foundation = make_foundation("lstm-1-16", seed=3)
+    table = MicroarchTable(5, 16, rng=np.random.default_rng(4))
+    return PerfVec(foundation, table)
+
+
+@pytest.fixture(scope="module")
+def features():
+    return encode_trace(trace_benchmark("557.xz", 1200))
+
+
+def test_sum_of_latencies_equals_program_dot_product(model, features):
+    per_instr = model.predict_latencies(features, chunk_len=32)
+    total_from_instructions = per_instr.astype(np.float64).sum(axis=0)
+    total_from_program = model.predict_program_times(features, chunk_len=32)
+    np.testing.assert_allclose(
+        total_from_program, total_from_instructions, rtol=1e-5
+    )
+
+
+def test_program_rep_is_sum_of_instruction_reps(model, features):
+    reps = model.instruction_representations(features, chunk_len=32)
+    prog = model.program_representation(features, chunk_len=32)
+    np.testing.assert_allclose(prog, reps.astype(np.float64).sum(axis=0), rtol=1e-6)
+
+
+def test_predict_total_time_consistency(model, features):
+    prog = model.program_representation(features, chunk_len=32)
+    via_index = model.predict_total_time(prog, config_index=2)
+    via_vector = model.predict_total_time(prog, uarch_rep=model.table.vector(2))
+    assert via_index == pytest.approx(via_vector)
+    all_times = model.predict_program_times(features, chunk_len=32)
+    assert via_index == pytest.approx(all_times[2], rel=1e-9)
+
+
+def test_predict_total_time_requires_one_selector(model, features):
+    prog = model.program_representation(features, chunk_len=32)
+    with pytest.raises(ValueError):
+        model.predict_total_time(prog)
+    with pytest.raises(ValueError):
+        model.predict_total_time(prog, uarch_rep=np.zeros(16), config_index=0)
+
+
+def test_splitting_a_program_sums_representations(model, features):
+    """Concatenating two half-programs sums their representations —
+    the property that makes the foundation generalize to any program."""
+    half = (len(features) // 64) * 32  # cut on a chunk boundary
+    rep_a = model.program_representation(features[:half], chunk_len=32)
+    rep_b = model.program_representation(features[half:], chunk_len=32)
+    rep_full = model.program_representation(features, chunk_len=32)
+    np.testing.assert_allclose(rep_a + rep_b, rep_full, rtol=1e-4, atol=1e-3)
+
+
+def test_chunk_batching_invariant(model, features):
+    """Batching chunks differently must not change representations."""
+    r1 = model.instruction_representations(features, chunk_len=32, batch_size=4)
+    r2 = model.instruction_representations(features, chunk_len=32, batch_size=64)
+    np.testing.assert_allclose(r1, r2, atol=1e-6)
+
+
+def test_ragged_tail_processed(model):
+    feats = encode_trace(trace_benchmark("999.specrand", 100))
+    reps = model.instruction_representations(feats, chunk_len=32)
+    assert reps.shape == (100, 16)
+    assert not np.allclose(reps[96:], 0.0)
+
+
+def test_dimension_mismatch_rejected():
+    foundation = make_foundation("lstm-1-8")
+    with pytest.raises(ValueError):
+        PerfVec(foundation, MicroarchTable(3, 16))
+
+
+def test_tick_scale_roundtrip(model, features):
+    """predict_latencies undoes the training-time target scaling."""
+    reps = model.instruction_representations(features, chunk_len=32)
+    scaled = reps @ model.table.table.data.T
+    ticks = model.predict_latencies(features, chunk_len=32)
+    np.testing.assert_allclose(ticks * TICK_SCALE, scaled, rtol=1e-6)

@@ -1,0 +1,63 @@
+"""Foundation model registry and interface tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.foundation import Foundation, make_foundation, parse_spec
+from repro.ml.autograd import Tensor
+
+
+def test_parse_spec():
+    s = parse_spec("lstm-2-256")
+    assert (s.arch, s.layers, s.dim) == ("lstm", 2, 256)
+    assert s.name == "lstm-2-256"
+    assert parse_spec("  Transformer-1-64 ").arch == "transformer"
+
+
+@pytest.mark.parametrize("bad", ["cnn-2-64", "lstm-2", "lstm-0-64", "lstm-2-0", ""])
+def test_parse_spec_rejects(bad):
+    with pytest.raises(ValueError):
+        parse_spec(bad)
+
+
+@pytest.mark.parametrize(
+    "spec", ["linear-1-8", "mlp-2-8", "gru-1-8", "lstm-1-8", "bilstm-1-8",
+             "transformer-1-8"]
+)
+def test_all_architectures_forward(spec):
+    model = make_foundation(spec, seed=1)
+    x = Tensor(np.random.default_rng(0).random((2, 5, 51)).astype(np.float32))
+    reps, state = model(x, model.initial_state(2))
+    assert reps.shape == (2, 5, 8)
+    assert model.dim == 8
+    assert model.name == spec
+
+
+def test_bilstm_projects_to_dim():
+    model = make_foundation("bilstm-1-8")
+    assert model.proj is not None
+    assert model.core.output_size == 16
+
+
+def test_seeded_construction_reproducible():
+    a = make_foundation("lstm-1-8", seed=7)
+    b = make_foundation("lstm-1-8", seed=7)
+    x = Tensor(np.ones((1, 3, 51), dtype=np.float32))
+    np.testing.assert_array_equal(a(x)[0].numpy(), b(x)[0].numpy())
+    c = make_foundation("lstm-1-8", seed=8)
+    assert not np.allclose(a(x)[0].numpy(), c(x)[0].numpy())
+
+
+def test_parameter_counts_scale_with_width():
+    small = make_foundation("lstm-2-16")
+    large = make_foundation("lstm-2-32")
+    assert large.num_parameters() > 2 * small.num_parameters()
+
+
+def test_foundation_trains_gradients_flow():
+    model = make_foundation("gru-1-8")
+    x = Tensor(np.random.default_rng(1).random((2, 4, 51)).astype(np.float32))
+    reps, _ = model(x)
+    (reps ** 2).sum().backward()
+    for name, p in model.named_parameters():
+        assert p.grad is not None, f"no grad reached {name}"

@@ -1,0 +1,35 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3_seen_unseen" in out
+    assert "smoke" in out and "paper" in out
+
+
+def test_run_command_smoke(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["run", "sec4b_reuse", "--scale", "smoke", "--save"]) == 0
+    out = capsys.readouterr().out
+    assert "sec4b_reuse" in out
+    assert "saved:" in out
+
+
+def test_run_unknown_experiment_raises():
+    with pytest.raises(KeyError):
+        main(["run", "fig99_nonexistent", "--scale", "smoke"])
+
+
+def test_bench_suite_command(capsys):
+    assert main(["bench-suite", "--scale", "smoke"]) == 0
+    assert "instruction-simulations" in capsys.readouterr().out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])

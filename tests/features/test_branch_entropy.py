@@ -1,0 +1,82 @@
+"""Unit tests for branch entropy features."""
+
+import numpy as np
+import pytest
+
+from repro.features.branch_entropy import _entropy, branch_entropies
+from repro.isa import assemble
+from repro.vm import run_program
+
+
+def trace_of(asm):
+    return run_program(assemble(asm))
+
+
+def test_entropy_function_basics():
+    assert _entropy(0.0) == 0.0
+    assert _entropy(1.0) == 0.0
+    assert _entropy(0.5) == pytest.approx(1.0)
+    assert _entropy(0.25) == pytest.approx(_entropy(0.75))
+
+
+def test_always_taken_branch_converges_to_zero():
+    trace = trace_of(
+        """
+        main: movi r1, 200
+        loop: subi r1, r1, 1
+              bnez r1, loop
+              halt
+        """
+    )
+    g, l = branch_entropies(trace)
+    is_cond = trace.is_cond_branch
+    # the last executions of the loop branch have near-zero local entropy
+    tail = l[is_cond][-20:-1]  # exclude the final (not-taken) exit branch
+    assert np.all(tail < 0.1)
+    assert g.shape == (len(trace),)
+
+
+def test_alternating_branch_stays_entropic():
+    trace = trace_of(
+        """
+        main: movi r1, 200
+              movi r2, 0
+        loop: andi r3, r1, 1
+              beqz r3, skip
+              addi r2, r2, 1
+        skip: subi r1, r1, 1
+              bnez r1, loop
+              halt
+        """
+    )
+    _, l = branch_entropies(trace)
+    # the alternating beqz keeps p near 0.5 -> high local entropy
+    pcs = trace.pc[trace.is_cond_branch]
+    ent = l[trace.is_cond_branch]
+    beqz_pc = pcs[0]
+    beqz_entropy = ent[pcs == beqz_pc][20:]
+    assert np.all(beqz_entropy > 0.8)
+
+
+def test_non_branch_rows():
+    trace = trace_of("main: movi r1, 1\n addi r1, r1, 1\n halt")
+    g, l = branch_entropies(trace)
+    assert np.all(l == 0.0)
+    assert np.all(g == 1.0)  # prior p=0.5 before any branch is observed
+
+
+def test_alpha_validation():
+    trace = trace_of("main: halt")
+    with pytest.raises(ValueError):
+        branch_entropies(trace, alpha=0.0)
+    with pytest.raises(ValueError):
+        branch_entropies(trace, alpha=1.5)
+
+
+def test_entropy_in_unit_range():
+    from repro.workloads import trace_benchmark
+
+    trace = trace_benchmark("531.deepsjeng", 5000)
+    g, l = branch_entropies(trace)
+    for col in (g, l):
+        assert np.all(col >= 0.0) and np.all(col <= 1.0)

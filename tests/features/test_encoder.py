@@ -1,0 +1,149 @@
+"""Unit tests for the 51-feature encoder."""
+
+import numpy as np
+import pytest
+
+from repro.features.encoder import (
+    FEATURE_NAMES,
+    NUM_FEATURES,
+    FeatureGroups,
+    encode_trace,
+)
+from repro.isa import assemble
+from repro.vm import run_program
+from repro.workloads import trace_benchmark
+
+
+def trace_of(asm):
+    return run_program(assemble(asm))
+
+
+def idx(name):
+    return FEATURE_NAMES.index(name)
+
+
+def test_table1_feature_budget():
+    """The paper's Table I arithmetic: 15 + 28 + 2 + 4 + 2 = 51."""
+    assert NUM_FEATURES == 51
+    assert len(FEATURE_NAMES) == 51
+    g = FeatureGroups()
+    assert g.operation == slice(0, 15)
+    assert g.registers == slice(15, 43)
+    assert g.behaviour == slice(43, 45)
+    assert g.memory == slice(45, 49)
+    assert g.branch == slice(49, 51)
+
+
+def test_every_feature_normalized():
+    feats = encode_trace(trace_benchmark("505.mcf", 5000))
+    assert feats.dtype == np.float32
+    assert feats.shape == (5000, 51)
+    assert np.all(feats >= 0.0)
+    assert np.all(feats <= 1.0)
+
+
+def test_op_onehots_sum_to_one():
+    feats = encode_trace(trace_benchmark("502.gcc", 3000))
+    group_sum = feats[:, 0:12].sum(axis=1)
+    np.testing.assert_array_equal(group_sum, np.ones(3000, dtype=np.float32))
+
+
+def test_op_features_for_specific_ops():
+    trace = trace_of(
+        """
+        main: fadd f1, f1, f2
+              ld   r1, [r2]
+              fence
+              beqz r0, next
+        next: halt
+        """
+    )
+    feats = encode_trace(trace)
+    assert feats[0, idx("op_fp_add")] == 1.0
+    assert feats[1, idx("op_load")] == 1.0
+    assert feats[2, idx("op_mem_barrier")] == 1.0
+    assert feats[3, idx("op_cond_branch")] == 1.0
+    assert feats[3, idx("op_direct_branch")] == 1.0
+    assert feats[3, idx("op_indirect_branch")] == 0.0
+
+
+def test_register_slots_encode_index_and_category():
+    trace = trace_of("main: add r5, r6, sp\n halt")
+    feats = encode_trace(trace)
+    assert feats[0, idx("src0_idx")] == pytest.approx(7 / 64)  # r6 -> id 6 -> +1
+    assert feats[0, idx("src1_idx")] == pytest.approx(29 / 64)  # sp=r28 -> +1
+    assert feats[0, idx("dst0_idx")] == pytest.approx(6 / 64)
+    # categories: general=2, stack=3 of max 5
+    assert feats[0, idx("src0_cat")] == pytest.approx(2 / 5)
+    assert feats[0, idx("src1_cat")] == pytest.approx(3 / 5)
+    # unused slots are zero
+    assert feats[0, idx("src2_idx")] == 0.0
+    assert feats[0, idx("dst1_cat")] == 0.0
+
+
+def test_branch_taken_feature():
+    trace = trace_of(
+        """
+        main: movi r1, 1
+              bnez r1, target
+              nop
+        target: halt
+        """
+    )
+    feats = encode_trace(trace)
+    assert feats[1, idx("branch_taken")] == 1.0
+    assert feats[0, idx("branch_taken")] == 0.0
+
+
+def test_fault_feature():
+    trace = trace_of(
+        """
+        main: movi r1, 3
+              movi r2, 0
+              div  r3, r1, r2
+              halt
+        """
+    )
+    feats = encode_trace(trace)
+    assert feats[2, idx("fault")] == 1.0
+    assert feats[0, idx("fault")] == 0.0
+
+
+def test_stack_distance_features_distinguish_locality():
+    """Streaming touches far lines; a register-resident loop reuses line 0."""
+    lbm_trace = trace_benchmark("519.lbm", 6000)
+    nq_trace = trace_benchmark("548.exchange2", 6000)
+    streaming = encode_trace(lbm_trace)
+    hot = encode_trace(nq_trace)
+    col = idx("sd_data")
+    streaming_mean = streaming[lbm_trace.is_mem, col].mean()
+    hot_mean = hot[nq_trace.is_mem, col].mean()
+    assert streaming_mean > 5 * hot_mean
+
+
+def test_ifetch_distance_loops_are_near():
+    trace = trace_of(
+        """
+        main: movi r1, 50
+        loop: subi r1, r1, 1
+              bnez r1, loop
+              halt
+        """
+    )
+    feats = encode_trace(trace)
+    # the tight loop refetches the same line: distance 0 after warmup
+    assert feats[5, idx("sd_ifetch")] == 0.0
+
+
+def test_load_store_columns_only_on_memory_ops():
+    trace = trace_benchmark("557.xz", 4000)
+    feats = encode_trace(trace)
+    non_mem = ~trace.is_mem
+    assert np.all(feats[non_mem, idx("sd_data")] == 0.0)
+    assert np.all(feats[~trace.is_load, idx("sd_load")] == 0.0)
+    assert np.all(feats[~trace.is_store, idx("sd_store")] == 0.0)
+
+
+def test_encoding_deterministic():
+    trace = trace_benchmark("500.perlbench", 2000)
+    np.testing.assert_array_equal(encode_trace(trace), encode_trace(trace))

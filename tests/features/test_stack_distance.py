@@ -1,0 +1,82 @@
+"""Unit + property tests for stack-distance computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.features.stack_distance import (
+    COLD,
+    stack_distances,
+    stack_distances_where,
+)
+
+
+def brute_force(keys):
+    """Reference O(n^2) implementation."""
+    out = []
+    for i, k in enumerate(keys):
+        prev = None
+        for j in range(i - 1, -1, -1):
+            if keys[j] == k:
+                prev = j
+                break
+        if prev is None:
+            out.append(COLD)
+        else:
+            out.append(len(set(keys[prev + 1 : i])))
+    return out
+
+
+def test_simple_sequences():
+    assert stack_distances([1, 1]).tolist() == [COLD, 0]
+    assert stack_distances([1, 2, 1]).tolist() == [COLD, COLD, 1]
+    assert stack_distances([1, 2, 3, 1]).tolist() == [COLD, COLD, COLD, 2]
+    assert stack_distances([1, 2, 2, 1]).tolist() == [COLD, COLD, 0, 1]
+
+
+def test_repeated_intermediate_counts_once():
+    # between the two 1s: keys 2,2,3 -> two distinct
+    assert stack_distances([1, 2, 2, 3, 1]).tolist()[-1] == 2
+
+
+def test_empty_sequence():
+    assert len(stack_distances(np.array([], dtype=np.int64))) == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=12), max_size=120))
+def test_matches_brute_force(keys):
+    fast = stack_distances(np.asarray(keys, dtype=np.int64)).tolist()
+    assert fast == brute_force(keys)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=80))
+def test_distance_bounded_by_alphabet(keys):
+    dist = stack_distances(np.asarray(keys, dtype=np.int64))
+    assert dist.max() <= len(set(keys)) - 1
+
+
+def test_where_scatters_back():
+    keys = np.array([10, 20, 10, 20, 10], dtype=np.int64)
+    mask = np.array([True, False, True, False, True])
+    out = stack_distances_where(keys, mask)
+    # subsequence is [10, 10, 10]
+    assert out.tolist() == [COLD, -2, 0, -2, 0]
+
+
+def test_where_requires_matching_lengths():
+    with pytest.raises(ValueError):
+        stack_distances_where(np.arange(3), np.array([True, False]))
+
+
+def test_where_all_false():
+    out = stack_distances_where(np.arange(4), np.zeros(4, dtype=bool))
+    assert (out == -2).all()
+
+
+def test_streaming_vs_reuse_profiles():
+    streaming = stack_distances(np.arange(1000, dtype=np.int64))
+    assert (streaming == COLD).all()
+    hot = stack_distances(np.zeros(1000, dtype=np.int64))
+    assert (hot[1:] == 0).all()

@@ -1,0 +1,55 @@
+"""Unit tests for the opcode table."""
+
+from repro.isa.opcodes import (
+    NUM_OPCODES,
+    OPCODE_BY_ID,
+    OPCODE_IDS,
+    OPCODES,
+    OpClass,
+    opcode_id,
+)
+
+
+def test_opcode_ids_are_dense_and_consistent():
+    assert len(OPCODE_BY_ID) == NUM_OPCODES
+    for opid, spec in enumerate(OPCODE_BY_ID):
+        assert spec.opid == opid
+        assert OPCODES[spec.mnemonic] is spec
+        assert OPCODE_IDS[spec.mnemonic] == opid
+
+
+def test_opcode_id_lookup():
+    assert OPCODE_BY_ID[opcode_id("add")].mnemonic == "add"
+
+
+def test_branch_classification():
+    assert OPCODES["beq"].is_branch
+    assert OPCODES["beq"].is_conditional
+    assert OPCODES["beq"].is_direct
+    assert not OPCODES["beq"].is_indirect
+    assert OPCODES["jmp"].is_branch and not OPCODES["jmp"].is_conditional
+    assert OPCODES["jr"].is_indirect and not OPCODES["jr"].is_direct
+    assert OPCODES["ret"].is_indirect
+    assert OPCODES["call"].is_direct
+    assert not OPCODES["add"].is_branch
+
+
+def test_memory_classification():
+    assert OPCODES["ld"].is_load and OPCODES["ld"].is_mem
+    assert OPCODES["st"].is_store and OPCODES["st"].is_mem
+    assert OPCODES["fld"].fp_data and OPCODES["fst"].fp_data
+    assert not OPCODES["ld"].fp_data
+    assert not OPCODES["add"].is_mem
+
+
+def test_opclass_assignments():
+    assert OPCODES["mul"].opclass is OpClass.INT_MUL
+    assert OPCODES["div"].opclass is OpClass.INT_DIV
+    assert OPCODES["fma"].opclass is OpClass.FP_MUL
+    assert OPCODES["fsqrt"].opclass is OpClass.FP_DIV
+    assert OPCODES["fence"].opclass is OpClass.BARRIER
+
+
+def test_conditional_ops_have_cond():
+    for spec in OPCODE_BY_ID:
+        assert spec.is_conditional == (spec.cond is not None)

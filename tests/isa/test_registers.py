@@ -1,0 +1,60 @@
+"""Unit tests for the register file specification."""
+
+import pytest
+
+from repro.isa import registers as R
+
+
+def test_global_ids_partition():
+    assert R.int_reg(0) == 0
+    assert R.int_reg(31) == 31
+    assert R.fp_reg(0) == 32
+    assert R.fp_reg(31) == 63
+    assert R.NUM_REGS == 64
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        R.int_reg(32)
+    with pytest.raises(ValueError):
+        R.fp_reg(-1)
+
+
+def test_is_fp_reg():
+    assert not R.is_fp_reg(0)
+    assert not R.is_fp_reg(31)
+    assert R.is_fp_reg(32)
+    assert R.is_fp_reg(63)
+    assert not R.is_fp_reg(R.REG_NONE)
+
+
+def test_categories():
+    assert R.reg_category(0) == R.RegCategory.ZERO
+    assert R.reg_category(5) == R.RegCategory.GENERAL
+    assert R.reg_category(R.SP) == R.RegCategory.STACK
+    assert R.reg_category(R.LR) == R.RegCategory.LINK
+    assert R.reg_category(R.fp_reg(7)) == R.RegCategory.FLOAT
+    assert R.reg_category(R.REG_NONE) == R.RegCategory.NONE
+
+
+def test_category_invalid_id():
+    with pytest.raises(ValueError):
+        R.reg_category(64)
+
+
+def test_reg_names_roundtrip():
+    for reg in range(R.NUM_REGS):
+        assert R.parse_reg(R.reg_name(reg)) == reg
+
+
+def test_parse_aliases():
+    assert R.parse_reg("sp") == R.SP
+    assert R.parse_reg("lr") == R.LR
+    assert R.parse_reg("zero") == 0
+    assert R.parse_reg(" F3 ") == R.fp_reg(3)
+
+
+def test_parse_rejects_garbage():
+    for bad in ("x1", "r", "f", "r99", "", "r-1"):
+        with pytest.raises(ValueError):
+            R.parse_reg(bad)

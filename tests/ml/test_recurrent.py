@@ -1,0 +1,104 @@
+"""Recurrent layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.ml.autograd import Tensor
+from repro.ml.gradcheck import check_gradients
+from repro.ml.recurrent import GRU, LSTM
+
+
+def rng():
+    return np.random.default_rng(3)
+
+
+def test_lstm_output_shapes():
+    lstm = LSTM(input_size=5, hidden_size=7, num_layers=2, rng=rng())
+    x = Tensor(rng().normal(size=(3, 4, 5)).astype(np.float32))
+    out, state = lstm(x)
+    assert out.shape == (3, 4, 7)
+    assert len(state) == 2
+    assert state[0][0].shape == (3, 7)
+
+
+def test_bilstm_doubles_output():
+    bi = LSTM(input_size=5, hidden_size=6, num_layers=1, bidirectional=True,
+              rng=rng())
+    x = Tensor(rng().normal(size=(2, 4, 5)).astype(np.float32))
+    out, _ = bi(x)
+    assert out.shape == (2, 4, 12)
+    assert bi.output_size == 12
+
+
+def test_lstm_state_continuity():
+    """Processing [A|B] in two stateful chunks == processing AB at once."""
+    lstm = LSTM(input_size=4, hidden_size=5, rng=rng())
+    x = rng().normal(size=(2, 8, 4)).astype(np.float32)
+    full, _ = lstm(Tensor(x))
+    first, state = lstm(Tensor(x[:, :4]))
+    second, _ = lstm(Tensor(x[:, 4:]), state)
+    np.testing.assert_allclose(second.numpy(), full.numpy()[:, 4:], atol=1e-5)
+
+
+def test_lstm_fresh_state_differs_from_continued():
+    lstm = LSTM(input_size=4, hidden_size=5, rng=rng())
+    x = rng().normal(size=(1, 6, 4)).astype(np.float32)
+    _, state = lstm(Tensor(x))
+    cont, _ = lstm(Tensor(x), state)
+    fresh, _ = lstm(Tensor(x))
+    assert not np.allclose(cont.numpy(), fresh.numpy())
+
+
+def test_lstm_causality():
+    """Unidirectional LSTM output at t must not depend on inputs after t."""
+    lstm = LSTM(input_size=3, hidden_size=4, rng=rng())
+    x = rng().normal(size=(1, 6, 3)).astype(np.float32)
+    out1, _ = lstm(Tensor(x))
+    x2 = x.copy()
+    x2[:, 4:] += 10.0
+    out2, _ = lstm(Tensor(x2))
+    np.testing.assert_allclose(out1.numpy()[:, :4], out2.numpy()[:, :4], atol=1e-6)
+    assert not np.allclose(out1.numpy()[:, 4:], out2.numpy()[:, 4:])
+
+
+def test_bilstm_not_causal():
+    bi = LSTM(input_size=3, hidden_size=4, bidirectional=True, rng=rng())
+    x = rng().normal(size=(1, 6, 3)).astype(np.float32)
+    out1, _ = bi(x_t := Tensor(x))
+    x2 = x.copy()
+    x2[:, 5] += 10.0
+    out2, _ = bi(Tensor(x2))
+    assert not np.allclose(out1.numpy()[:, 0], out2.numpy()[:, 0])
+
+
+def test_lstm_gradcheck():
+    lstm = LSTM(input_size=3, hidden_size=3, rng=rng())
+    x = Tensor(rng().normal(size=(2, 3, 3)), requires_grad=True)
+    params = list(lstm.parameters())
+    check_gradients(lambda: (lstm(x)[0] ** 2).sum(), params + [x])
+
+
+def test_gru_shapes_and_gradcheck():
+    gru = GRU(input_size=3, hidden_size=4, num_layers=2, rng=rng())
+    x = Tensor(rng().normal(size=(2, 3, 3)), requires_grad=True)
+    out, state = gru(x)
+    assert out.shape == (2, 3, 4)
+    assert len(state) == 2
+    check_gradients(lambda: (gru(x)[0] ** 2).sum(), list(gru.parameters())[:2] + [x])
+
+
+def test_gru_state_continuity():
+    gru = GRU(input_size=4, hidden_size=5, rng=rng())
+    x = rng().normal(size=(2, 8, 4)).astype(np.float32)
+    full, _ = gru(Tensor(x))
+    first, state = gru(Tensor(x[:, :4]))
+    second, _ = gru(Tensor(x[:, 4:]), state)
+    np.testing.assert_allclose(second.numpy(), full.numpy()[:, 4:], atol=1e-5)
+
+
+def test_input_rank_validated():
+    lstm = LSTM(3, 4)
+    with pytest.raises(ValueError):
+        lstm(Tensor(np.ones((3, 4), dtype=np.float32)))
+    with pytest.raises(ValueError):
+        LSTM(3, 4, num_layers=0)

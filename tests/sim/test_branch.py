@@ -1,0 +1,120 @@
+"""Unit tests for branch predictors, BTB and RAS."""
+
+from repro.sim.branch import (
+    BimodalPredictor,
+    BranchUnit,
+    GSharePredictor,
+    StaticPredictor,
+    TournamentPredictor,
+    make_direction_predictor,
+)
+from repro.uarch.config import BranchPredictorConfig, PredictorKind
+
+
+def bp_config(kind, **kw):
+    defaults = dict(table_bits=8, history_bits=6, btb_bits=6,
+                    ras_entries=4, mispredict_penalty=8)
+    defaults.update(kw)
+    return BranchPredictorConfig(kind, **defaults)
+
+
+def test_static_predictor_backward_taken():
+    p = StaticPredictor()
+    assert p.predict(pc=100, target=50)  # backward -> loop -> taken
+    assert not p.predict(pc=100, target=200)
+
+
+def test_bimodal_learns_bias():
+    p = BimodalPredictor(table_bits=6)
+    for _ in range(4):
+        p.update(0x100, 0, True)
+    assert p.predict(0x100, 0)
+    for _ in range(8):
+        p.update(0x100, 0, False)
+    assert not p.predict(0x100, 0)
+
+
+def test_bimodal_counters_saturate():
+    p = BimodalPredictor(table_bits=4)
+    for _ in range(100):
+        p.update(0x40, 0, True)
+    idx = (0x40 >> 2) & p.mask
+    assert p.table[idx] == 3
+
+
+def test_gshare_distinguishes_history():
+    """An alternating branch is mispredicted by bimodal but learnable by
+    gshare once the history register disambiguates the two contexts."""
+    g = GSharePredictor(table_bits=10, history_bits=4)
+    b = BimodalPredictor(table_bits=10)
+    pattern = [True, False] * 200
+    g_wrong = b_wrong = 0
+    for taken in pattern:
+        if g.predict(0x200, 0) != taken:
+            g_wrong += 1
+        if b.predict(0x200, 0) != taken:
+            b_wrong += 1
+        g.update(0x200, 0, taken)
+        b.update(0x200, 0, taken)
+    assert g_wrong < b_wrong / 4
+
+
+def test_tournament_beats_worst_component():
+    t = TournamentPredictor(table_bits=10, history_bits=6)
+    pattern = ([True] * 3 + [False]) * 100
+    wrong = 0
+    for taken in pattern:
+        if t.predict(0x300, 0) != taken:
+            wrong += 1
+        t.update(0x300, 0, taken)
+    assert wrong < len(pattern) * 0.4
+
+
+def test_factory_dispatch():
+    for kind, cls in [
+        (PredictorKind.STATIC, StaticPredictor),
+        (PredictorKind.BIMODAL, BimodalPredictor),
+        (PredictorKind.GSHARE, GSharePredictor),
+        (PredictorKind.TOURNAMENT, TournamentPredictor),
+    ]:
+        assert isinstance(make_direction_predictor(bp_config(kind)), cls)
+
+
+def test_branch_unit_counts_mispredicts():
+    bu = BranchUnit(bp_config(PredictorKind.BIMODAL))
+    # always-taken loop branch: after warmup, no mispredicts
+    warm = [bu.resolve_conditional(0x500, 0x400, True) for _ in range(20)]
+    assert sum(warm[2:]) == 0
+    assert bu.branches == 20
+
+
+def test_ras_predicts_matched_returns():
+    bu = BranchUnit(bp_config(PredictorKind.BIMODAL, ras_entries=8))
+    bu.resolve_call(0x1000, 0x2000)
+    assert not bu.resolve_return(0x2004, 0x1004)  # correct prediction
+    # empty RAS now: the next return mispredicts
+    assert bu.resolve_return(0x2004, 0x1004)
+
+
+def test_ras_overflow_drops_oldest():
+    bu = BranchUnit(bp_config(PredictorKind.BIMODAL, ras_entries=2))
+    bu.resolve_call(0x1000, 0)
+    bu.resolve_call(0x2000, 0)
+    bu.resolve_call(0x3000, 0)  # overflows: 0x1004 dropped
+    assert not bu.resolve_return(0, 0x3004)
+    assert not bu.resolve_return(0, 0x2004)
+    assert bu.resolve_return(0, 0x1004)  # lost to overflow
+
+
+def test_btb_learns_indirect_targets():
+    bu = BranchUnit(bp_config(PredictorKind.BIMODAL))
+    assert bu.resolve_indirect(0x800, 0x9000)  # cold BTB: mispredict
+    assert not bu.resolve_indirect(0x800, 0x9000)  # learned
+    assert bu.resolve_indirect(0x800, 0xA000)  # target changed
+
+
+def test_zero_ras_never_pushes():
+    bu = BranchUnit(bp_config(PredictorKind.STATIC, ras_entries=0, history_bits=0))
+    bu.resolve_call(0x100, 0x200)
+    assert bu.ras == []
+    assert bu.resolve_return(0x200, 0x104)  # always mispredicts

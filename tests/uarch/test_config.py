@@ -1,0 +1,110 @@
+"""Unit tests for microarchitecture configuration dataclasses."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.config import (
+    BranchPredictorConfig,
+    CacheConfig,
+    CoreKind,
+    FUConfig,
+    MemoryConfig,
+    MemoryKind,
+    MicroarchConfig,
+    PredictorKind,
+)
+from repro.uarch.presets import PRESETS, cortex_a7_like, preset
+
+
+def test_cache_geometry():
+    c = CacheConfig(size_kb=32, assoc=4, latency=3)
+    assert c.num_lines == 512
+    assert c.num_sets == 128
+
+
+def test_cache_rejects_non_pow2():
+    with pytest.raises(ValueError):
+        CacheConfig(size_kb=24, assoc=4, latency=3)
+    with pytest.raises(ValueError):
+        CacheConfig(size_kb=32, assoc=3, latency=3)
+
+
+def test_cache_rejects_assoc_beyond_capacity():
+    with pytest.raises(ValueError):
+        CacheConfig(size_kb=1, assoc=32, latency=1)  # 16 lines, 32 ways
+
+
+def test_fu_validation():
+    with pytest.raises(ValueError):
+        FUConfig(count=0, latency=1)
+    with pytest.raises(ValueError):
+        FUConfig(count=1, latency=0)
+
+
+def test_memory_validation():
+    with pytest.raises(ValueError):
+        MemoryConfig(MemoryKind.DDR4, latency_ns=5.0, bandwidth_gbps=10.0)
+
+
+def test_branch_validation():
+    with pytest.raises(ValueError):
+        BranchPredictorConfig(
+            PredictorKind.GSHARE, table_bits=30, history_bits=8,
+            btb_bits=8, ras_entries=8, mispredict_penalty=10,
+        )
+
+
+def test_l2_must_cover_l1():
+    base = cortex_a7_like()
+    with pytest.raises(ValueError):
+        base.with_cache_sizes(l1d_kb=1024, l2_kb=512)
+
+
+def test_with_cache_sizes_clones():
+    base = cortex_a7_like()
+    mod = base.with_cache_sizes(l1d_kb=4, l2_kb=256)
+    assert mod.l1d.size_kb == 4
+    assert mod.l2.size_kb == 256
+    assert base.l1d.size_kb == 32  # original untouched
+    assert mod.l1d.assoc == base.l1d.assoc
+    assert mod.name != base.name
+
+
+def test_presets_mix():
+    assert len(PRESETS) == 7
+    kinds = [c.core.kind for c in PRESETS.values()]
+    assert kinds.count(CoreKind.OUT_OF_ORDER) == 4
+    assert kinds.count(CoreKind.IN_ORDER) == 3
+
+
+def test_preset_lookup():
+    assert preset("cortex-a7-like").core.kind is CoreKind.IN_ORDER
+    with pytest.raises(KeyError):
+        preset("pentium-iii")
+
+
+def test_feature_vector_shape_and_range():
+    names = MicroarchConfig.feature_names()
+    for cfg in PRESETS.values():
+        vec = cfg.to_feature_vector()
+        assert vec.shape == (len(names),)
+        assert vec.dtype == np.float32
+        assert np.all(vec >= 0.0) and np.all(vec <= 1.5)
+
+
+def test_feature_vector_distinguishes_presets():
+    vecs = [c.to_feature_vector() for c in PRESETS.values()]
+    for i in range(len(vecs)):
+        for j in range(i + 1, len(vecs)):
+            assert not np.allclose(vecs[i], vecs[j])
+
+
+def test_feature_vector_onehots():
+    cfg = preset("skylake-like")
+    names = MicroarchConfig.feature_names()
+    vec = cfg.to_feature_vector()
+    lookup = dict(zip(names, vec))
+    assert lookup["is_ooo"] == 1.0
+    assert lookup["bp_tournament"] == 1.0
+    assert lookup["bp_static"] == 0.0
+    assert lookup["mem_DDR4"] == 1.0

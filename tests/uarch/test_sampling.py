@@ -1,0 +1,53 @@
+"""Unit tests for the microarchitecture sampler."""
+
+import numpy as np
+import pytest
+
+from repro.uarch.config import CoreKind
+from repro.uarch.sampling import sample_config, sample_configs
+
+
+def test_default_recipe_is_77():
+    configs = sample_configs(seed=1)
+    assert len(configs) == 77
+    kinds = [c.core.kind for c in configs]
+    assert kinds.count(CoreKind.OUT_OF_ORDER) == 60 + 4
+    assert kinds.count(CoreKind.IN_ORDER) == 10 + 3
+
+
+def test_sampling_is_deterministic():
+    a = sample_configs(n_ooo=5, n_inorder=2, seed=42, include_presets=False)
+    b = sample_configs(n_ooo=5, n_inorder=2, seed=42, include_presets=False)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    a = sample_configs(n_ooo=5, n_inorder=2, seed=1, include_presets=False)
+    b = sample_configs(n_ooo=5, n_inorder=2, seed=2, include_presets=False)
+    assert a != b
+
+
+def test_sampled_configs_are_valid_and_diverse():
+    configs = sample_configs(n_ooo=30, n_inorder=10, seed=7, include_presets=False)
+    l1d_sizes = {c.l1d.size_kb for c in configs}
+    l2_sizes = {c.l2.size_kb for c in configs}
+    mem_kinds = {c.memory.kind for c in configs}
+    assert len(l1d_sizes) >= 4
+    assert len(l2_sizes) >= 4
+    assert len(mem_kinds) >= 3
+    assert any(c.l2_exclusive for c in configs)
+    for c in configs:
+        # dataclass validators ran at construction; spot-check invariants
+        assert c.l2.size_kb >= max(c.l1i.size_kb, c.l1d.size_kb)
+        assert c.core.commit_width <= c.core.issue_width
+
+
+def test_kind_override():
+    rng = np.random.default_rng(0)
+    cfg = sample_config(rng, CoreKind.IN_ORDER)
+    assert cfg.core.kind is CoreKind.IN_ORDER
+
+
+def test_negative_counts_rejected():
+    with pytest.raises(ValueError):
+        sample_configs(n_ooo=-1)

@@ -1,0 +1,389 @@
+"""Unit tests for the functional interpreter."""
+
+import pytest
+
+from repro.isa import assemble
+from repro.isa.opcodes import OpClass
+from repro.vm import Machine, VMError, run_program
+
+
+def run_asm(text, max_instructions=100_000):
+    machine = Machine()
+    trace = machine.run(assemble(text), max_instructions=max_instructions)
+    return machine, trace
+
+
+def test_arithmetic_basics():
+    machine, _ = run_asm(
+        """
+        main: movi r1, 7
+              movi r2, 5
+              add  r3, r1, r2
+              sub  r4, r1, r2
+              mul  r5, r1, r2
+              div  r6, r1, r2
+              rem  r7, r1, r2
+              halt
+        """
+    )
+    assert machine.regs[3] == 12
+    assert machine.regs[4] == 2
+    assert machine.regs[5] == 35
+    assert machine.regs[6] == 1
+    assert machine.regs[7] == 2
+
+
+def test_division_truncates_toward_zero():
+    machine, _ = run_asm(
+        """
+        main: movi r1, -7
+              movi r2, 2
+              div  r3, r1, r2
+              rem  r4, r1, r2
+              halt
+        """
+    )
+    assert machine.regs[3] == -3  # C-style truncation, not floor
+    assert machine.regs[4] == -1
+
+
+def test_divide_by_zero_faults_not_crashes():
+    machine, trace = run_asm(
+        """
+        main: movi r1, 9
+              movi r2, 0
+              div  r3, r1, r2
+              halt
+        """
+    )
+    assert machine.regs[3] == 0
+    assert trace.fault[2]
+    assert not trace.fault[0]
+
+
+def test_r0_is_hardwired_zero():
+    machine, _ = run_asm(
+        """
+        main: movi r0, 99
+              addi r0, r0, 1
+              add  r1, r0, r0
+              halt
+        """
+    )
+    assert machine.regs[0] == 0
+    assert machine.regs[1] == 0
+
+
+def test_int64_wraparound():
+    machine, _ = run_asm(
+        """
+        main: movi r1, 0x7fffffffffffffff
+              addi r2, r1, 1
+              halt
+        """
+    )
+    assert machine.regs[2] == -(2**63)
+
+
+def test_shifts_and_logic():
+    machine, _ = run_asm(
+        """
+        main: movi r1, 1
+              shli r2, r1, 10
+              movi r3, -8
+              shri r4, r3, 1
+              andi r5, r2, 0x400
+              ori  r6, r0, 6
+              xori r7, r6, 3
+              halt
+        """
+    )
+    assert machine.regs[2] == 1024
+    assert machine.regs[4] == -4  # arithmetic shift of negative
+    assert machine.regs[5] == 1024
+    assert machine.regs[6] == 6
+    assert machine.regs[7] == 5
+
+
+def test_compare_ops():
+    machine, _ = run_asm(
+        """
+        main: movi r1, 3
+              movi r2, 5
+              slt  r3, r1, r2
+              slt  r4, r2, r1
+              seq  r5, r1, r1
+              min  r6, r1, r2
+              max  r7, r1, r2
+              halt
+        """
+    )
+    assert machine.regs[3] == 1
+    assert machine.regs[4] == 0
+    assert machine.regs[5] == 1
+    assert machine.regs[6] == 3
+    assert machine.regs[7] == 5
+
+
+def test_fp_arithmetic():
+    machine, _ = run_asm(
+        """
+        main: fmovi f1, 1.5
+              fmovi f2, 2.0
+              fadd  f3, f1, f2
+              fmul  f4, f1, f2
+              fdiv  f5, f2, f1
+              fma   f6, f1, f2, f3
+              fsqrt f7, f2
+              fneg  f8, f1
+              fabs  f9, f8
+              halt
+        """
+    )
+    assert machine.fregs[3] == 3.5
+    assert machine.fregs[4] == 3.0
+    assert machine.fregs[5] == pytest.approx(4.0 / 3.0)
+    assert machine.fregs[6] == 6.5
+    assert machine.fregs[7] == pytest.approx(2.0**0.5)
+    assert machine.fregs[8] == -1.5
+    assert machine.fregs[9] == 1.5
+
+
+def test_fp_faults():
+    machine, trace = run_asm(
+        """
+        main: fmovi f1, 1.0
+              fmovi f2, 0.0
+              fdiv  f3, f1, f2
+              fmovi f4, -4.0
+              fsqrt f5, f4
+              halt
+        """
+    )
+    assert machine.fregs[3] == float("inf")
+    assert trace.fault[2]
+    assert machine.fregs[5] == 0.0
+    assert trace.fault[4]
+
+
+def test_conversions():
+    machine, _ = run_asm(
+        """
+        main: movi r1, -3
+              itof f1, r1
+              fmovi f2, 2.9
+              ftoi r2, f2
+              fmovi f3, -2.9
+              ftoi r3, f3
+              fcmplt r4, f3, f2
+              halt
+        """
+    )
+    assert machine.fregs[1] == -3.0
+    assert machine.regs[2] == 2  # truncation toward zero
+    assert machine.regs[3] == -2
+    assert machine.regs[4] == 1
+
+
+def test_memory_roundtrip_and_addressing():
+    machine, trace = run_asm(
+        """
+        .data
+        buf: .space 64
+        .text
+        main: movi r1, buf
+              movi r2, 42
+              st   r2, [r1 + 8]
+              ld   r3, [r1 + 8]
+              movi r4, 1
+              ld   r5, [r1 + r4*8]
+              fmovi f1, 2.5
+              fst  f1, [r1 + 16]
+              fld  f2, [r1 + 16]
+              halt
+        """
+    )
+    assert machine.regs[3] == 42
+    assert machine.regs[5] == 42
+    assert machine.fregs[2] == 2.5
+    mem_ops = trace.mem_addr >= 0
+    assert mem_ops.sum() == 5  # st, ld, indexed ld, fst, fld
+
+
+def test_misaligned_access_faults_and_aligns():
+    machine, trace = run_asm(
+        """
+        .data
+        buf: .space 32
+        .text
+        main: movi r1, buf
+              movi r2, 7
+              st   r2, [r1 + 3]
+              ld   r3, [r1]
+              halt
+        """
+    )
+    assert trace.fault[2]
+    assert machine.regs[3] == 7  # store was aligned down to buf+0
+
+
+def test_branch_loop_and_trace_taken_bits():
+    machine, trace = run_asm(
+        """
+        main: movi r1, 3
+              movi r2, 0
+        loop: addi r2, r2, 1
+              subi r1, r1, 1
+              bnez r1, loop
+              halt
+        """
+    )
+    assert machine.regs[2] == 3
+    branch_rows = trace.branch_taken[trace.is_cond_branch]
+    assert list(branch_rows) == [1, 1, 0]
+
+
+def test_all_conditional_ops():
+    machine, _ = run_asm(
+        """
+        main: movi r1, 1
+              movi r2, 2
+              movi r10, 0
+              beq  r1, r1, a
+              jmp  bad
+        a:    bne  r1, r2, b
+              jmp  bad
+        b:    blt  r1, r2, c
+              jmp  bad
+        c:    bge  r2, r1, d
+              jmp  bad
+        d:    beqz r0, e
+              jmp  bad
+        e:    bnez r1, good
+        bad:  movi r10, 0
+              halt
+        good: movi r10, 1
+              halt
+        """
+    )
+    assert machine.regs[10] == 1
+
+
+def test_call_ret():
+    machine, trace = run_asm(
+        """
+        main: movi r1, 10
+              call double
+              call double
+              halt
+        double: add r1, r1, r1
+                ret
+        """
+    )
+    assert machine.regs[1] == 40
+    # call records a taken control transfer with a direct target
+    from repro.vm.trace import OP_IS_INDIRECT
+
+    indirect = OP_IS_INDIRECT[trace.opid]
+    assert indirect.sum() == 2  # two rets
+
+
+def test_indirect_jump_table():
+    machine, _ = run_asm(
+        """
+        main:  movi r1, case1
+               jr   r1
+               movi r9, 111
+               halt
+        case1: movi r9, 222
+               halt
+        """
+    )
+    assert machine.regs[9] == 222
+
+
+def test_indirect_jump_to_bad_pc_raises():
+    with pytest.raises(VMError):
+        run_asm(
+            """
+            main: movi r1, 12345
+                  jr r1
+                  halt
+            """
+        )
+
+
+def test_fall_off_code_raises():
+    with pytest.raises(VMError):
+        run_asm("main: nop")
+
+
+def test_max_instructions_cap():
+    _, trace = run_asm(
+        """
+        main: jmp main
+        """,
+        max_instructions=50,
+    )
+    assert len(trace) == 50
+
+
+def test_trace_records_pcs_and_opclasses():
+    _, trace = run_asm(
+        """
+        main: movi r1, 1
+              fence
+              halt
+        """
+    )
+    assert trace.pc[1] == trace.pc[0] + 4
+    assert trace.opclass[1] == OpClass.BARRIER
+    assert trace.opclass[2] == OpClass.HALT
+
+
+def test_run_program_convenience():
+    trace = run_program(assemble("main: halt"))
+    assert len(trace) == 1
+
+
+def test_machine_reset_between_runs():
+    machine = Machine()
+    prog = assemble("main: addi r1, r1, 1\n halt")
+    machine.run(prog)
+    machine.run(prog)
+    assert machine.regs[1] == 1  # not 2: registers reset between runs
+
+
+def test_stack_pointer_initialised():
+    machine, _ = run_asm(
+        """
+        main: st r0, [sp - 8]
+              halt
+        """
+    )
+    from repro.isa.program import STACK_TOP
+
+    assert machine.regs[28] == STACK_TOP
+
+
+def test_trace_summary_fractions():
+    _, trace = run_asm(
+        """
+        .data
+        buf: .space 16
+        .text
+        main: movi r1, buf
+              ld   r2, [r1]
+              st   r2, [r1 + 8]
+              fadd f1, f1, f1
+              beqz r0, end
+        end:  halt
+        """
+    )
+    s = trace.summary()
+    assert s["instructions"] == 6
+    assert s["load_frac"] == pytest.approx(1 / 6)
+    assert s["store_frac"] == pytest.approx(1 / 6)
+    assert s["branch_frac"] == pytest.approx(1 / 6)
+    assert s["taken_frac"] == 1.0
+    assert s["fp_frac"] == pytest.approx(1 / 6)

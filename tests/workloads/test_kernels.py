@@ -1,0 +1,206 @@
+"""Functional-correctness tests for workload kernels.
+
+These run the kernels to completion (reps=1) and check results read back
+from VM memory against NumPy/Python oracles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.isa.program import STACK_TOP
+from repro.vm import Machine
+from repro.workloads.kernels import (
+    graph,
+    linear_algebra,
+    media,
+    physics,
+    sort_search,
+    strings,
+)
+
+
+def run_to_completion(program, max_instructions=3_000_000):
+    machine = Machine()
+    trace = machine.run(program, max_instructions=max_instructions)
+    assert machine.halted, "program did not halt within the instruction budget"
+    return machine, trace
+
+
+def read_fp_array(machine, base, count):
+    return np.array([machine.memory.read_float(base + 8 * i) for i in range(count)])
+
+
+def read_int_array(machine, base, count):
+    return np.array([machine.memory.read_word(base + 8 * i) for i in range(count)])
+
+
+@pytest.mark.parametrize("tile", [1, 2, 3, 6])
+def test_matmul_matches_numpy(tile):
+    n = 6
+    prog = linear_algebra.matmul(n=n, tile=tile, reps=1, seed=5)
+    machine, _ = run_to_completion(prog)
+    a = read_fp_array(machine, prog.symbol("mm_a"), n * n).reshape(n, n)
+    b = read_fp_array(machine, prog.symbol("mm_b"), n * n).reshape(n, n)
+    c = read_fp_array(machine, prog.symbol("mm_c"), n * n).reshape(n, n)
+    np.testing.assert_allclose(c, a @ b, rtol=1e-12)
+
+
+def test_matmul_tile_must_divide():
+    with pytest.raises(ValueError):
+        linear_algebra.matmul(n=6, tile=4)
+
+
+def test_dot_matches_numpy():
+    n = 64
+    prog = linear_algebra.dot(n=n, reps=1, seed=7)
+    machine, _ = run_to_completion(prog)
+    x = read_fp_array(machine, prog.symbol("dot_x"), n)
+    y = read_fp_array(machine, prog.symbol("dot_y"), n)
+    out = machine.memory.read_float(prog.symbol("dot_out"))
+    assert out == pytest.approx(float(x @ y), rel=1e-12)
+
+
+def test_axpy_matches_numpy():
+    n = 32
+    alpha = 1.5
+    prog = linear_algebra.axpy(n=n, alpha=alpha, reps=1, seed=8)
+    machine, _ = run_to_completion(prog)
+    x = read_fp_array(machine, prog.symbol("axpy_x"), n)
+    y = read_fp_array(machine, prog.symbol("axpy_y"), n)
+    # y was overwritten in place; reconstruct initial y from the same LCG
+    # stream is fiddly, so check the invariant y_final - alpha*x is the
+    # pre-update y, which must lie in [0, 1) like all initialized values.
+    resid = y - alpha * x
+    assert np.all(resid >= -1e-9) and np.all(resid < 1.0)
+
+
+def test_matvec_matches_numpy():
+    n = 10
+    prog = linear_algebra.matvec(n=n, reps=1, seed=9)
+    machine, _ = run_to_completion(prog)
+    a = read_fp_array(machine, prog.symbol("mv_a"), n * n).reshape(n, n)
+    x = read_fp_array(machine, prog.symbol("mv_x"), n)
+    y = read_fp_array(machine, prog.symbol("mv_y"), n)
+    np.testing.assert_allclose(y, a @ x, rtol=1e-12)
+
+
+def test_quicksort_sorts():
+    n = 128
+    prog = sort_search.quicksort(n=n, reps=1, seed=11)
+    machine, trace = run_to_completion(prog)
+    vals = read_int_array(machine, prog.symbol("qs_vals"), n)
+    assert np.all(np.diff(vals) >= 0)
+    # sorting must involve data-dependent branches
+    assert trace.is_cond_branch.sum() > n
+
+
+def test_exchange2_counts_queens_solutions():
+    # 92 solutions for 8 queens, 10 for 5 queens: classic oracle values.
+    for n, expected in [(5, 10), (6, 4)]:
+        prog = sort_search.exchange2(n_queens=n, reps=1)
+        machine, _ = run_to_completion(prog)
+        assert machine.memory.read_word(prog.symbol("nq_out")) == expected
+
+
+def test_deepsjeng_terminates_and_scores():
+    prog = sort_search.deepsjeng(depth=6, branching=3, reps=1)
+    machine, _ = run_to_completion(prog)
+    assert machine.memory.read_word(prog.symbol("ds_out")) > 0
+
+
+def test_mcf_relaxation_monotone():
+    prog = graph.mcf(n_nodes=256, n_arcs=512, reps=3, seed=13)
+    machine, _ = run_to_completion(prog)
+    dist = read_int_array(machine, prog.symbol("mcf_dist"), 256)
+    big = 1 << 40
+    assert dist[0] == 0
+    assert np.all(dist <= big)
+    assert (dist < big).sum() > 1  # relaxation reached at least one node
+
+
+def test_pointer_chase_next_is_permutation():
+    n = 256
+    prog = graph.pointer_chase(n=n, steps=16, reps=1, seed=14)
+    machine, _ = run_to_completion(prog)
+    nxt = read_int_array(machine, prog.symbol("pc_next"), n)
+    assert sorted(nxt.tolist()) == list(range(n))
+
+
+def test_pointer_chase_requires_power_of_two():
+    with pytest.raises(ValueError):
+        graph.pointer_chase(n=100)
+
+
+def test_xalancbmk_visits_all_nodes():
+    n = 64
+    prog = graph.xalancbmk(n_nodes=n, fanout=3, reps=1, seed=15)
+    machine, _ = run_to_completion(prog)
+    vals = read_int_array(machine, prog.symbol("xa_val"), n)
+    expected = int(np.sum(vals ^ 0x5A))
+    assert machine.memory.read_word(prog.symbol("xa_out")) == expected
+
+
+def test_perlbench_populates_table():
+    prog = strings.perlbench(n_ops=128, table_bits=8, reps=1, seed=16)
+    machine, _ = run_to_completion(prog)
+    table = read_int_array(machine, prog.symbol("pl_table"), 256)
+    occupied = (table != 0).sum()
+    assert 100 <= occupied <= 128  # few duplicate keys at most
+
+
+def test_perlbench_rejects_overfull():
+    with pytest.raises(ValueError):
+        strings.perlbench(n_ops=4096, table_bits=12)
+
+
+def test_gcc_dispatch_executes_indirect_branches():
+    prog = strings.gcc(n_tokens=64, reps=1, seed=17)
+    machine, trace = run_to_completion(prog)
+    from repro.vm.trace import OP_IS_INDIRECT
+
+    assert OP_IS_INDIRECT[trace.opid].sum() >= 64
+
+
+def test_x264_sad_is_nonnegative_minimum():
+    prog = media.x264(frame=32, block=4, search=2, reps=1, seed=18)
+    machine, _ = run_to_completion(prog)
+    best = machine.memory.read_word(prog.symbol("x264_out"))
+    assert 0 <= best < (1 << 40)
+
+
+def test_imagick_output_clamped():
+    prog = media.imagick(w=12, h=12, reps=2, seed=19)
+    machine, _ = run_to_completion(prog)
+    # after an even number of sweeps the result lives back in im_a
+    img = read_fp_array(machine, prog.symbol("im_a"), 12 * 12).reshape(12, 12)
+    interior = img[1:-1, 1:-1]
+    assert np.all(interior >= 0.0) and np.all(interior <= 1.0)
+
+
+def test_namd_forces_antisymmetric_accumulation():
+    prog = physics.namd(n_atoms=16, cutoff=10.0, reps=1, seed=20)
+    machine, trace = run_to_completion(prog)
+    forces = read_fp_array(machine, prog.symbol("nd_f"), 16)
+    # with an all-inclusive cutoff every pair contributes f and -f once
+    assert abs(forces.sum()) < 1e-6
+    assert trace.summary()["fp_frac"] > 0.3
+
+
+def test_nab_energy_positive():
+    prog = physics.nab(n_atoms=12, reps=1, seed=21)
+    machine, _ = run_to_completion(prog)
+    assert machine.memory.read_float(prog.symbol("nb_e")) > 0.0
+
+
+def test_cam4_moisture_stays_bounded():
+    prog = physics.cam4(n_cols=8, n_levs=8, reps=5, seed=22)
+    machine, _ = run_to_completion(prog)
+    q = read_fp_array(machine, prog.symbol("cam_q"), 64)
+    assert np.all(q >= 0.0) and np.all(q < 10.0)
+
+
+def test_stack_untouched_by_kernels():
+    # kernels allocate statically; the conventional stack stays virgin
+    prog = physics.cactubssn(n=64, reps=1)
+    machine, _ = run_to_completion(prog)
+    assert machine.memory.read_word(STACK_TOP - 8) == 0

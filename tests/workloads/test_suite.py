@@ -1,0 +1,98 @@
+"""Suite-level tests: every benchmark traces, the split matches Table II,
+and behaviour classes differ measurably across the suite."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ALL_BENCHMARKS,
+    BENCHMARKS,
+    TEST_BENCHMARKS,
+    TRAIN_BENCHMARKS,
+    build_program,
+    get_trace,
+    trace_benchmark,
+)
+from repro.workloads.suite import clear_trace_cache
+
+
+def test_table2_split_is_exact():
+    assert len(TRAIN_BENCHMARKS) == 9
+    assert len(TEST_BENCHMARKS) == 8
+    assert set(TRAIN_BENCHMARKS) | set(TEST_BENCHMARKS) == set(ALL_BENCHMARKS)
+    assert not set(TRAIN_BENCHMARKS) & set(TEST_BENCHMARKS)
+    # the paper splits by SPEC index: smaller indices test, larger train
+    assert max(int(n.split(".")[0]) for n in TEST_BENCHMARKS) < 525
+    assert min(int(n.split(".")[0]) for n in TRAIN_BENCHMARKS) >= 525
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+def test_every_benchmark_traces(name):
+    trace = trace_benchmark(name, max_instructions=3000)
+    assert len(trace) == 3000
+    summary = trace.summary()
+    assert summary["branch_frac"] > 0.01  # every kernel loops
+    assert summary["fault_frac"] < 0.01
+
+
+def test_unknown_benchmark_rejected():
+    with pytest.raises(KeyError):
+        build_program("600.nonesuch")
+
+
+def test_fp_benchmarks_use_fp():
+    for name, spec in BENCHMARKS.items():
+        trace = trace_benchmark(name, max_instructions=4000)
+        fp = trace.summary()["fp_frac"]
+        if spec.category == "FP":
+            assert fp > 0.15, f"{name} marked FP but fp_frac={fp:.3f}"
+        else:
+            assert fp < 0.15, f"{name} marked INT but fp_frac={fp:.3f}"
+
+
+def test_suite_spans_memory_behaviours():
+    """Memory-footprint spread: the streaming lattice kernel must touch far
+    more unique cache lines than the register-resident backtracking kernel."""
+    lbm = trace_benchmark("519.lbm", max_instructions=8000)
+    nq = trace_benchmark("548.exchange2", max_instructions=8000)
+    lbm_lines = np.unique(lbm.mem_addr[lbm.mem_addr >= 0] >> 6)
+    nq_lines = np.unique(nq.mem_addr[nq.mem_addr >= 0] >> 6)
+    assert len(lbm_lines) > 10 * len(nq_lines)
+
+
+def test_gcc_has_most_indirect_branches():
+    from repro.vm.trace import OP_IS_INDIRECT
+
+    counts = {}
+    for name in ("502.gcc", "519.lbm", "505.mcf"):
+        trace = trace_benchmark(name, max_instructions=5000)
+        counts[name] = int(OP_IS_INDIRECT[trace.opid].sum())
+    assert counts["502.gcc"] > counts["519.lbm"]
+    assert counts["502.gcc"] > counts["505.mcf"]
+
+
+def test_trace_cache_returns_same_object():
+    clear_trace_cache()
+    t1 = get_trace("999.specrand", 2000)
+    t2 = get_trace("999.specrand", 2000)
+    assert t1 is t2
+    clear_trace_cache()
+    t3 = get_trace("999.specrand", 2000)
+    assert t3 is not t1
+    np.testing.assert_array_equal(t1.pc, t3.pc)
+
+
+def test_seed_changes_trace():
+    a = trace_benchmark("505.mcf", max_instructions=4000, seed=1)
+    b = trace_benchmark("505.mcf", max_instructions=4000, seed=2)
+    assert not np.array_equal(a.mem_addr, b.mem_addr)
+
+
+def test_reps_extend_execution():
+    prog1 = build_program("999.specrand", reps=1, n=64)
+    prog2 = build_program("999.specrand", reps=3, n=64)
+    from repro.vm import run_program
+
+    t1 = run_program(prog1, max_instructions=1_000_000)
+    t2 = run_program(prog2, max_instructions=1_000_000)
+    assert len(t2) > 2 * len(t1)
