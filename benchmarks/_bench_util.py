@@ -8,6 +8,8 @@ so the regenerated rows survive pytest's output capture.
 Experiments share in-process caches (trained foundations, simulated
 datasets), so the first benchmark of a session pays the training cost and
 the rest reuse it — run the whole directory in one pytest invocation.
+Trace simulations fan out across ``REPRO_BENCH_JOBS`` worker processes
+(default: all cores; set 1 to force serial).
 """
 
 from __future__ import annotations
@@ -18,11 +20,12 @@ from repro.experiments import run_experiment
 from repro.experiments.common import RESULTS_DIR, ExperimentResult
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))  # 0 = all cores
 
 
 def run_and_record(name: str) -> ExperimentResult:
     """Run one experiment, persist and report its rows."""
-    result = run_experiment(name, scale=SCALE)
+    result = run_experiment(name, scale=SCALE, jobs=JOBS)
     text = result.render()
     print(text)
     result.save()

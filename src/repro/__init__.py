@@ -5,7 +5,8 @@ and Architecture Representations for Performance Modeling* (Li, Flynn,
 Hoisie — SC 2024): the PerfVec framework plus every substrate it depends on
 (mini-ISA + functional VM, SPEC-like workload suite, cycle-level CPU timing
 simulator, microarchitecture-independent feature extraction, a small deep
-learning framework, baselines, and the full experiment harness).
+learning framework, baselines, a process-pool parallel runtime, and the
+full experiment harness).
 
 Quick start::
 

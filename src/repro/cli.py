@@ -6,12 +6,28 @@ Subcommands::
     repro run fig3_seen_unseen      # one experiment (default scale: bench)
     repro run-all --scale bench     # every experiment, saving JSON results
     repro bench-suite --scale bench # trace + simulate the whole suite once
+
+Every runner subcommand takes ``--jobs N`` (default: all cores) to fan
+trace simulations — and, for ``run-all``, whole experiments — out across
+worker processes via :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _resolved_header(command: str, scale: str, jobs: int | None) -> str:
+    from repro.runtime import resolve_jobs
+
+    return f"# repro {command}: scale={scale} jobs={resolve_jobs(jobs)}"
+
+
+def _progress(total: int):
+    from repro.runtime import ProgressReporter
+
+    return ProgressReporter(total=total, stream=sys.stderr)
 
 
 def _cmd_list(_args) -> int:
@@ -27,7 +43,8 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     from repro.experiments import run_experiment
 
-    result = run_experiment(args.experiment, scale=args.scale)
+    print(_resolved_header(f"run {args.experiment}", args.scale, args.jobs))
+    result = run_experiment(args.experiment, scale=args.scale, jobs=args.jobs)
     print(result.render())
     if args.save:
         path = result.save()
@@ -36,19 +53,22 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_run_all(args) -> int:
-    from repro.experiments import EXPERIMENTS, run_experiment
+    from repro.experiments import EXPERIMENTS, run_all
 
+    print(_resolved_header("run-all", args.scale, args.jobs))
+    outcomes = run_all(
+        scale=args.scale, jobs=args.jobs,
+        progress=_progress(len(EXPERIMENTS)), save=True,
+    )
     failures = []
-    for name in EXPERIMENTS:
-        print(f"\n### {name} (scale={args.scale})")
-        try:
-            result = run_experiment(name, scale=args.scale)
-        except Exception as exc:  # keep going; report at the end
-            print(f"FAILED: {exc}")
-            failures.append(name)
+    for outcome in outcomes:
+        print(f"\n### {outcome.name} (scale={args.scale})")
+        if not outcome.ok:
+            print(f"FAILED:\n{outcome.error}")
+            failures.append(outcome.name)
             continue
-        print(result.render())
-        print(f"saved: {result.save()}")
+        print(outcome.result.render())
+        print(f"saved: {outcome.result.save()}")
     if failures:
         print(f"\nfailed experiments: {failures}")
         return 1
@@ -62,10 +82,14 @@ def _cmd_bench_suite(args) -> int:
     from repro.features.dataset import build_dataset
     from repro.workloads import ALL_BENCHMARKS
 
+    print(_resolved_header("bench-suite", args.scale, args.jobs))
     cfg = get_scale(args.scale)
+    benchmarks = list(ALL_BENCHMARKS)
+    configs = seen_configs(cfg)
     start = time.perf_counter()
     ds = build_dataset(
-        list(ALL_BENCHMARKS), seen_configs(cfg), cfg.instructions
+        benchmarks, configs, cfg.instructions, jobs=args.jobs,
+        progress=_progress(len(benchmarks) * (len(configs) + 1)),
     )
     elapsed = time.perf_counter() - start
     total = len(ds) * ds.num_configs
@@ -76,10 +100,31 @@ def _cmd_bench_suite(args) -> int:
     return 0
 
 
+def _jobs_value(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be >= 1 (or 0 for all cores), got {value}"
+        )
+    return value
+
+
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=_jobs_value, default=0, metavar="N",
+        help="worker processes (default: all cores; 1 = serial)",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="PerfVec reproduction experiment runner",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -89,12 +134,15 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("experiment")
     p_run.add_argument("--scale", default="bench")
     p_run.add_argument("--save", action="store_true")
+    _add_jobs_flag(p_run)
 
     p_all = sub.add_parser("run-all", help="run every experiment")
     p_all.add_argument("--scale", default="bench")
+    _add_jobs_flag(p_all)
 
     p_suite = sub.add_parser("bench-suite", help="build the full suite dataset")
     p_suite.add_argument("--scale", default="bench")
+    _add_jobs_flag(p_suite)
 
     args = parser.parse_args(argv)
     handlers = {

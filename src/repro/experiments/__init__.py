@@ -2,7 +2,7 @@
 
 Every experiment exposes ``run(scale) -> ExperimentResult`` and is
 registered in :mod:`~repro.experiments.registry`; ``python -m repro`` is
-the CLI front end.  ``EXPERIMENTS.md`` records paper-vs-measured for each.
+the CLI front end (see ``README.md`` for the experiment/figure table).
 
 ==========================  =============================================
 module                      reproduces
@@ -27,7 +27,12 @@ from repro.experiments.common import (
     ScaleConfig,
     get_scale,
 )
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    ExperimentOutcome,
+    run_all,
+    run_experiment,
+)
 
 __all__ = [
     "SCALES",
@@ -35,5 +40,7 @@ __all__ = [
     "ScaleConfig",
     "get_scale",
     "EXPERIMENTS",
+    "ExperimentOutcome",
+    "run_all",
     "run_experiment",
 ]

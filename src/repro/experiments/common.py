@@ -84,6 +84,34 @@ def get_scale(scale: str | ScaleConfig) -> ScaleConfig:
 
 
 # ---------------------------------------------------------------------------
+# parallelism default
+# ---------------------------------------------------------------------------
+# Experiments call benchmark_dataset() deep inside their run() functions, so
+# the CLI's --jobs value travels as a process-wide default instead of a
+# parameter threaded through every experiment signature.
+_DEFAULT_JOBS: int = 1
+
+
+def set_default_jobs(jobs: int | None) -> int:
+    """Set the simulation fan-out used by :func:`benchmark_dataset`.
+
+    ``None``/``0`` resolves to all cores. Returns the previous value so
+    callers can restore it (see :func:`repro.experiments.run_experiment`).
+    """
+    from repro.runtime import resolve_jobs
+
+    global _DEFAULT_JOBS
+    previous = _DEFAULT_JOBS
+    _DEFAULT_JOBS = resolve_jobs(jobs)
+    return previous
+
+
+def get_default_jobs() -> int:
+    """Current simulation fan-out (1 = serial)."""
+    return _DEFAULT_JOBS
+
+
+# ---------------------------------------------------------------------------
 # shared data / model construction (memoized)
 # ---------------------------------------------------------------------------
 _CONFIG_CACHE: dict[str, list[MicroarchConfig]] = {}
@@ -125,7 +153,9 @@ def benchmark_dataset(
            instructions)
     ds = _DATASET_CACHE.get(key)
     if ds is None:
-        ds = build_dataset(list(benchmarks), configs, instructions)
+        ds = build_dataset(
+            list(benchmarks), configs, instructions, jobs=get_default_jobs()
+        )
         _DATASET_CACHE[key] = ds
     return ds
 

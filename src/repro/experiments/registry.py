@@ -1,8 +1,18 @@
-"""Experiment registry and runner."""
+"""Experiment registry and runner.
+
+:func:`run_experiment` executes one experiment; ``jobs`` controls how many
+processes its trace simulations fan out across.  :func:`run_all` executes
+every registered experiment and can additionally run the *experiments
+themselves* concurrently: the shared dataset is pre-built once (parallel
+simulation, warm on-disk cache), then independent experiments dispatch
+through :class:`repro.runtime.ParallelMap` and read that cache instead of
+re-simulating.
+"""
 
 from __future__ import annotations
 
-from typing import Callable
+from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.experiments import (
     fig3_seen_unseen,
@@ -17,7 +27,7 @@ from repro.experiments import (
     table3_comparison,
     table4_dse_methods,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, set_default_jobs
 
 #: Experiment id -> run callable (ordered as in the paper's evaluation).
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
@@ -35,8 +45,130 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(name: str, scale: str = "bench") -> ExperimentResult:
-    """Run one registered experiment at the given scale."""
+def run_experiment(
+    name: str, scale: str = "bench", jobs: int | None = None
+) -> ExperimentResult:
+    """Run one registered experiment at the given scale.
+
+    ``jobs`` sets the simulation fan-out for this run (``None`` keeps the
+    process-wide default, ``0`` means all cores); the previous default is
+    restored afterwards.
+    """
     if name not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
-    return EXPERIMENTS[name](scale=scale)
+    if jobs is None:
+        return EXPERIMENTS[name](scale=scale)
+    previous = set_default_jobs(jobs)
+    try:
+        return EXPERIMENTS[name](scale=scale)
+    finally:
+        set_default_jobs(previous)
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """One :func:`run_all` entry: a result or a captured failure."""
+
+    name: str
+    result: ExperimentResult | None = None
+    error: str | None = None  # worker traceback when the experiment failed
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _experiment_job(item: tuple[str, str, bool]) -> ExperimentResult:
+    """Worker entry point for parallel :func:`run_all`.
+
+    Simulations stay serial inside each worker — the shared dataset cache
+    is already warm, and concurrency comes from running experiments side
+    by side.  With ``save`` the result JSON is written here, as soon as
+    the experiment finishes, so completed work survives a later crash or
+    interrupt of the batch.
+    """
+    name, scale, save = item
+    result = run_experiment(name, scale=scale, jobs=1)
+    if save:
+        result.save()
+    return result
+
+
+def _warm_dataset_cache(scale: str, jobs: int, stream) -> None:
+    """Pre-build the suite dataset every experiment reads (parallel sims).
+
+    Purely an optimization: failures are swallowed here so that the
+    experiments that actually need the broken benchmark fail (and are
+    captured) individually, exactly as they would without the warm-up.
+    """
+    from repro.experiments.common import get_scale, seen_configs
+    from repro.features.dataset import build_dataset
+    from repro.runtime import ProgressReporter
+    from repro.workloads import ALL_BENCHMARKS
+
+    cfg = get_scale(scale)
+    configs = seen_configs(cfg)
+    benchmarks = list(ALL_BENCHMARKS)
+    reporter = None
+    if stream is not None:
+        reporter = ProgressReporter(
+            total=len(benchmarks) * (len(configs) + 1), prefix="warm ",
+            stream=stream,
+        )
+    try:
+        build_dataset(
+            benchmarks, configs, cfg.instructions, jobs=jobs,
+            progress=reporter,
+        )
+    except Exception as exc:
+        if stream is not None:
+            stream.write(f"warm-up failed (continuing): {exc}\n")
+
+
+def run_all(
+    names: Sequence[str] | None = None,
+    scale: str = "bench",
+    jobs: int | None = 1,
+    progress=None,
+    save: bool = False,
+) -> list[ExperimentOutcome]:
+    """Run experiments (default: all), capturing per-experiment failures.
+
+    With ``jobs > 1`` the shared seen-config dataset cache is built first
+    with parallel simulation, then experiments run concurrently in worker
+    processes.  Each worker retrains its own models (the in-process model
+    cache is not shared across processes); simulations of the shared
+    dataset become disk-cache hits, while experiments that need extra
+    configurations (unseen microarchitectures, DSE sweeps) still simulate
+    those serially inside their own worker.
+
+    ``progress`` receives one completion line per *experiment*; warm-up
+    simulations report separately (``warm`` prefix) on the same stream.
+    With ``save`` each result JSON lands under ``results/`` the moment
+    its experiment completes, so an interrupted batch keeps what it
+    finished.
+    """
+    from repro.runtime import ParallelMap, resolve_jobs
+
+    names = list(names) if names is not None else list(EXPERIMENTS)
+    for name in names:
+        if name not in EXPERIMENTS:
+            raise KeyError(
+                f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
+            )
+    jobs = resolve_jobs(jobs)
+    if jobs > 1:
+        stream = progress.stream if progress is not None else None
+        _warm_dataset_cache(scale, jobs, stream)
+    pool = ParallelMap(jobs=min(jobs, len(names)), chunksize=1,
+                       progress=progress)
+    results = pool.map(
+        _experiment_job,
+        [(name, scale, save) for name in names],
+        return_errors=True,
+        labels=names,
+    )
+    return [
+        ExperimentOutcome(name=name, result=res.value, error=res.error)
+        for name, res in zip(names, results)
+    ]

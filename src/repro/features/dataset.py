@@ -6,9 +6,24 @@ analogue of the paper's "instruction representation reuse" (Sec. IV-B): the
 logical trace does not change with the microarchitecture, so one trace
 serves all k target columns.
 
-Built datasets are cached on disk (npz) keyed by a hash of the benchmark,
-instruction budget, seed and the full microarchitecture descriptions, since
-simulation is by far the most expensive step of every experiment.
+Simulation dominates every experiment's runtime and the (benchmark x
+config) grid is embarrassingly parallel, so construction fans out through
+:class:`repro.runtime.ParallelMap`: each feature-encoding or single-config
+simulation is a pure top-level job function.  Parallel and serial builds
+are interchangeable — results are assembled in deterministic order, so the
+arrays and the cache files they produce are byte-identical either way.
+
+Caching is two-level, both under ``cache_dir``:
+
+* **merged** (``<bench>_n<N>_s<seed>_<digest>.npz``) — features + the full
+  target matrix for one benchmark against one config list, keyed by a
+  content hash of every microarchitecture description.  This is the
+  long-lived cache consulted first.
+* **shards** (``shards/<bench>_n<N>_s<seed>_<cfg-digest>.npz``) — one
+  array per job, written by the worker that computed it.  Shards let an
+  interrupted parallel build resume without re-simulating finished
+  columns; they are folded into the merged entry and deleted as soon as
+  every column of a benchmark lands.
 """
 
 from __future__ import annotations
@@ -20,6 +35,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.features.encoder import NUM_FEATURES, encode_trace
+from repro.runtime import ParallelMap, ProgressReporter
 from repro.sim import CPUSimulator
 from repro.uarch.config import MicroarchConfig
 from repro.workloads import get_trace
@@ -93,30 +109,185 @@ def _cache_path(
     return os.path.join(cache_dir, f"{safe}_n{n}_s{seed}_{digest}.npz")
 
 
+def _shard_path(
+    cache_dir: str, name: str, n: int, seed: int | None, config_digest: str
+) -> str:
+    safe = name.replace(".", "_")
+    return os.path.join(
+        cache_dir, "shards", f"{safe}_n{n}_s{seed}_{config_digest}.npz"
+    )
+
+
+def _atomic_savez(path: str, **arrays: np.ndarray) -> None:
+    """Write an npz atomically so concurrent builders never see partial files."""
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.tmp.npz"
+    np.savez_compressed(tmp, **arrays)
+    os.replace(tmp, path)
+
+
+@dataclass(frozen=True)
+class _SimJob:
+    """One pool work item: encode features or simulate one config.
+
+    ``config is None`` means "encode the trace's features"; otherwise the
+    job times the trace on that single microarchitecture.  Jobs are pure
+    (trace regenerated from the benchmark name) and picklable, so they can
+    run in any worker process.
+    """
+
+    benchmark: str
+    config: MicroarchConfig | None
+    max_instructions: int
+    seed: int | None
+    shard_path: str | None
+
+    @property
+    def label(self) -> str:
+        what = "features" if self.config is None else f"@ {self.config.name}"
+        return f"sim {self.benchmark} {what}"
+
+
+def _run_sim_job(job: _SimJob) -> np.ndarray:
+    """Execute one job (worker side), persisting its shard when enabled.
+
+    ``get_trace`` memoizes per process, so consecutive jobs for one
+    benchmark in the same worker share the trace.
+    """
+    trace = get_trace(job.benchmark, job.max_instructions, seed=job.seed)
+    if job.config is None:
+        data = encode_trace(trace)
+    else:
+        data = CPUSimulator(job.config).run(trace).incremental_latencies
+    if job.shard_path:
+        _atomic_savez(job.shard_path, data=data)
+    return data
+
+
+def _benchmark_jobs(
+    name: str,
+    configs: list[MicroarchConfig],
+    max_instructions: int,
+    seed: int | None,
+    cache_dir: str | None,
+) -> list[_SimJob]:
+    """The features job plus one simulation job per config, in column order."""
+    jobs = []
+    for config in [None, *configs]:
+        shard = None
+        if cache_dir:
+            tag = (
+                "features"
+                if config is None
+                else hashlib.sha256(repr(config).encode()).hexdigest()[:16]
+            )
+            shard = _shard_path(cache_dir, name, max_instructions, seed, tag)
+        jobs.append(
+            _SimJob(
+                benchmark=name,
+                config=config,
+                max_instructions=max_instructions,
+                seed=seed,
+                shard_path=shard,
+            )
+        )
+    return jobs
+
+
+def _assemble_benchmark(
+    outputs: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Merge one benchmark's job outputs into (features, targets)."""
+    features = outputs[0]
+    targets = np.empty((len(features), len(outputs) - 1), dtype=np.float32)
+    for j, column in enumerate(outputs[1:]):
+        targets[:, j] = column
+    return features, targets
+
+
+def _build_many(
+    benchmarks: list[str],
+    configs: list[MicroarchConfig],
+    max_instructions: int,
+    seed: int | None,
+    cache_dir: str | None,
+    jobs: int | None,
+    progress: ProgressReporter | None,
+) -> dict[str, tuple[np.ndarray, np.ndarray]]:
+    """(features, targets) per benchmark, fanning cache misses out as jobs."""
+    digest = _config_digest(configs)
+    arrays: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    pending: dict[str, list[_SimJob]] = {}
+    for name in dict.fromkeys(benchmarks):
+        if cache_dir:
+            path = _cache_path(cache_dir, name, max_instructions, seed, digest)
+            if os.path.exists(path):
+                with np.load(path) as data:
+                    arrays[name] = (data["features"], data["targets"])
+                continue
+        pending[name] = _benchmark_jobs(
+            name, configs, max_instructions, seed, cache_dir
+        )
+
+    if pending:
+        flat = [job for jobs_ in pending.values() for job in jobs_]
+        # Shards from an interrupted earlier build short-circuit their jobs.
+        done: dict[_SimJob, np.ndarray] = {}
+        todo = []
+        for job in flat:
+            if job.shard_path and os.path.exists(job.shard_path):
+                try:
+                    with np.load(job.shard_path) as data:
+                        done[job] = data["data"]
+                    continue
+                except OSError:
+                    pass  # concurrent builder merged + removed it: recompute
+            todo.append(job)
+        if progress is not None:
+            progress.total = len(todo)  # cache/shard hits are not jobs
+        pool = ParallelMap(jobs=jobs, progress=progress)
+        for job, output in zip(
+            todo, pool.map(_run_sim_job, todo, labels=[j.label for j in todo])
+        ):
+            done[job] = output
+        for name, bench_jobs in pending.items():
+            features, targets = _assemble_benchmark(
+                [done[j] for j in bench_jobs]
+            )
+            if cache_dir:
+                path = _cache_path(
+                    cache_dir, name, max_instructions, seed, digest
+                )
+                _atomic_savez(path, features=features, targets=targets)
+                # Shards only go once the merged entry is durable, so a
+                # crash in between never loses resume state.
+                for job in bench_jobs:
+                    try:
+                        os.remove(job.shard_path)
+                    except OSError:
+                        pass
+            arrays[name] = (features, targets)
+        if cache_dir:
+            try:  # drop the shard dir once every shard has been folded in
+                os.rmdir(os.path.join(cache_dir, "shards"))
+            except OSError:
+                pass
+    return arrays
+
+
 def build_benchmark_arrays(
     name: str,
     configs: list[MicroarchConfig],
     max_instructions: int,
     seed: int | None = None,
     cache_dir: str | None = DEFAULT_CACHE_DIR,
+    jobs: int | None = 1,
+    progress: ProgressReporter | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """(features, targets) for one benchmark, via the on-disk cache."""
-    digest = _config_digest(configs)
-    path = None
-    if cache_dir:
-        path = _cache_path(cache_dir, name, max_instructions, seed, digest)
-        if os.path.exists(path):
-            with np.load(path) as data:
-                return data["features"], data["targets"]
-    trace = get_trace(name, max_instructions, seed=seed)
-    features = encode_trace(trace)
-    targets = np.empty((len(trace), len(configs)), dtype=np.float32)
-    for j, config in enumerate(configs):
-        targets[:, j] = CPUSimulator(config).run(trace).incremental_latencies
-    if path:
-        os.makedirs(cache_dir, exist_ok=True)
-        np.savez_compressed(path, features=features, targets=targets)
-    return features, targets
+    return _build_many(
+        [name], configs, max_instructions, seed, cache_dir, jobs, progress
+    )[name]
 
 
 def build_dataset(
@@ -125,8 +296,15 @@ def build_dataset(
     max_instructions: int,
     seed: int | None = None,
     cache_dir: str | None = DEFAULT_CACHE_DIR,
+    jobs: int | None = 1,
+    progress: ProgressReporter | None = None,
 ) -> TraceDataset:
-    """Assemble the full dataset over ``benchmarks`` x ``configs``."""
+    """Assemble the full dataset over ``benchmarks`` x ``configs``.
+
+    ``jobs`` fans the per-(benchmark, config) simulations out across
+    processes (``None``/``0`` = all cores, ``1`` = serial in-process);
+    the resulting dataset and cache files are identical for any value.
+    """
     if not benchmarks:
         raise ValueError("no benchmarks given")
     if not configs:
@@ -134,14 +312,16 @@ def build_dataset(
     names = [c.name for c in configs]
     if len(set(names)) != len(names):
         raise ValueError("config names must be unique")
+    arrays = _build_many(
+        list(benchmarks), configs, max_instructions, seed, cache_dir, jobs,
+        progress,
+    )
     feature_blocks = []
     target_blocks = []
     segments = []
     cursor = 0
     for name in benchmarks:
-        features, targets = build_benchmark_arrays(
-            name, configs, max_instructions, seed=seed, cache_dir=cache_dir
-        )
+        features, targets = arrays[name]
         feature_blocks.append(features)
         target_blocks.append(targets)
         segments.append((name, cursor, cursor + len(features)))

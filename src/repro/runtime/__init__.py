@@ -1,0 +1,35 @@
+"""Parallel execution layer for simulation fan-out and experiment runs.
+
+Everything expensive in this reproduction is embarrassingly parallel: one
+trace is timed on every sampled microarchitecture (Sec. IV-B
+"representation reuse"), and the experiments of Figs. 3-8 are independent
+once the shared dataset cache is warm.  This package provides the process
+pool that exploits that:
+
+* :mod:`~repro.runtime.pool` — :class:`ParallelMap`, a chunked
+  ``ProcessPoolExecutor`` wrapper with a serial fallback, deterministic
+  result ordering and worker-side exception capture.
+* :mod:`~repro.runtime.progress` — :class:`ProgressReporter`, per-job
+  completion lines for long fan-outs.
+
+The ``--jobs N`` CLI flag (default: all cores) threads through here.
+"""
+
+from repro.runtime.pool import (
+    JobError,
+    JobResult,
+    ParallelMap,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.runtime.progress import NULL_PROGRESS, ProgressReporter
+
+__all__ = [
+    "JobError",
+    "JobResult",
+    "ParallelMap",
+    "parallel_map",
+    "resolve_jobs",
+    "ProgressReporter",
+    "NULL_PROGRESS",
+]

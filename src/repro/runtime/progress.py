@@ -1,0 +1,72 @@
+"""Per-job completion reporting for long parallel fan-outs.
+
+A :class:`ProgressReporter` prints one line per finished job::
+
+    [  3/42] sim 505.mcf @ ooo-7            12.4s
+    [  4/42] sim 519.lbm @ inorder-1 FAILED 13.0s
+
+It is deliberately dumb — no curses, no redraw — so the output survives
+log files, CI capture and pytest ``-s`` alike.  The module-level
+:data:`NULL_PROGRESS` singleton swallows everything and is the default
+everywhere, keeping library call sites quiet unless a CLI opts in.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import TextIO
+
+
+class ProgressReporter:
+    """Thread-safe counter that prints a completion line per job."""
+
+    def __init__(
+        self,
+        total: int,
+        prefix: str = "",
+        stream: TextIO | None = None,
+        enabled: bool = True,
+    ):
+        self.total = total
+        self.prefix = prefix
+        self.stream = stream if stream is not None else sys.stderr
+        self.enabled = enabled
+        self._done = 0
+        self._start = time.perf_counter()
+        self._lock = threading.Lock()
+
+    @property
+    def done(self) -> int:
+        return self._done
+
+    def task_done(self, label: str, ok: bool = True) -> None:
+        """Record one finished job and print its completion line."""
+        with self._lock:
+            self._done += 1
+            done = self._done
+        if not self.enabled:
+            return
+        elapsed = time.perf_counter() - self._start
+        width = len(str(self.total)) if self.total else 1
+        status = "" if ok else " FAILED"
+        self.stream.write(
+            f"{self.prefix}[{done:>{width}}/{self.total}] "
+            f"{label}{status} {elapsed:.1f}s\n"
+        )
+        self.stream.flush()
+
+
+class _NullProgress(ProgressReporter):
+    """Reporter that records nothing and prints nothing."""
+
+    def __init__(self):
+        super().__init__(total=0, enabled=False)
+
+    def task_done(self, label: str, ok: bool = True) -> None:  # noqa: ARG002
+        pass
+
+
+#: Shared silent reporter (safe: it holds no state).
+NULL_PROGRESS = _NullProgress()

@@ -20,6 +20,22 @@ def test_run_command_smoke(capsys, tmp_path, monkeypatch):
     assert "saved:" in out
 
 
+def test_run_header_shows_resolved_scale_and_jobs(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    assert main(["run", "sec4b_reuse", "--scale", "smoke", "--jobs", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "scale=smoke jobs=1" in out
+
+
+def test_version_flag(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
 def test_run_unknown_experiment_raises():
     with pytest.raises(KeyError):
         main(["run", "fig99_nonexistent", "--scale", "smoke"])
@@ -28,6 +44,13 @@ def test_run_unknown_experiment_raises():
 def test_bench_suite_command(capsys):
     assert main(["bench-suite", "--scale", "smoke"]) == 0
     assert "instruction-simulations" in capsys.readouterr().out
+
+
+def test_bench_suite_parallel(capsys):
+    assert main(["bench-suite", "--scale", "smoke", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "instruction-simulations" in out
+    assert "jobs=2" in out
 
 
 def test_requires_subcommand():

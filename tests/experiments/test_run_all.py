@@ -1,0 +1,76 @@
+"""Tests for the parallel experiment runner (registry.run_all)."""
+
+import pytest
+
+from repro.experiments import run_all
+from repro.experiments.registry import EXPERIMENTS, _experiment_job
+
+
+def test_run_all_unknown_name_rejected():
+    with pytest.raises(KeyError):
+        run_all(names=["fig99_nonexistent"], scale="smoke")
+
+
+def test_run_all_serial_subset():
+    outcomes = run_all(names=["sec4b_reuse"], scale="smoke", jobs=1)
+    assert len(outcomes) == 1
+    assert outcomes[0].ok
+    assert outcomes[0].name == "sec4b_reuse"
+    assert outcomes[0].result.experiment == "sec4b_reuse"
+
+
+def test_run_all_parallel_two_experiments():
+    outcomes = run_all(
+        names=["sec4b_reuse", "fig3_seen_unseen"], scale="smoke", jobs=2
+    )
+    assert [o.name for o in outcomes] == ["sec4b_reuse", "fig3_seen_unseen"]
+    assert all(o.ok for o in outcomes)
+    # results came back across the process boundary fully formed
+    assert all(o.result.rows for o in outcomes)
+
+
+def test_run_all_captures_failures(monkeypatch):
+    def _explode(scale="bench"):
+        raise RuntimeError("injected failure")
+
+    monkeypatch.setitem(EXPERIMENTS, "sec4b_reuse", _explode)
+    outcomes = run_all(
+        names=["sec4b_reuse", "fig3_seen_unseen"], scale="smoke", jobs=1
+    )
+    assert not outcomes[0].ok
+    assert "injected failure" in outcomes[0].error
+    assert outcomes[1].ok
+
+
+def test_warm_up_failure_does_not_abort(monkeypatch, capsys):
+    import io
+
+    import repro.features.dataset as dataset_mod
+    from repro.experiments.registry import _warm_dataset_cache
+
+    def _explode(*args, **kwargs):
+        raise RuntimeError("simulator broke")
+
+    monkeypatch.setattr(dataset_mod, "build_dataset", _explode)
+    stream = io.StringIO()
+    _warm_dataset_cache("smoke", jobs=2, stream=stream)  # must not raise
+    assert "warm-up failed" in stream.getvalue()
+    _warm_dataset_cache("smoke", jobs=2, stream=None)  # silent, still no raise
+
+
+def test_experiment_job_is_picklable_entry_point():
+    import pickle
+
+    pickle.dumps(_experiment_job)
+    result = _experiment_job(("sec4b_reuse", "smoke", False))
+    assert result.experiment == "sec4b_reuse"
+
+
+def test_run_all_save_writes_results_incrementally(tmp_path, monkeypatch):
+    import os
+
+    monkeypatch.chdir(tmp_path)
+    outcomes = run_all(names=["sec4b_reuse"], scale="smoke", jobs=1, save=True)
+    assert outcomes[0].ok
+    # saved by the worker as the experiment finished, not by the caller
+    assert os.path.exists("results/sec4b_reuse_smoke.json")

@@ -1,0 +1,112 @@
+"""Unit tests for the parallel execution layer."""
+
+import io
+import os
+
+import pytest
+
+from repro.runtime import (
+    JobError,
+    ParallelMap,
+    ProgressReporter,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.runtime.pool import _chunked
+
+
+# Job functions must be importable top-level callables (pickled to workers).
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError("boom on 3")
+    return x
+
+
+def _worker_pid(_x):
+    return os.getpid()
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs(None) == (os.cpu_count() or 1)
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 3])
+def test_map_preserves_input_order(jobs):
+    items = list(range(23))
+    assert parallel_map(_square, items, jobs=jobs) == [x * x for x in items]
+
+
+def test_parallel_runs_in_worker_processes():
+    pids = set(parallel_map(_worker_pid, range(8), jobs=2, chunksize=1))
+    assert os.getpid() not in pids or len(pids) > 1
+
+
+def test_serial_stays_in_process():
+    assert parallel_map(_worker_pid, [0], jobs=1) == [os.getpid()]
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_worker_exception_raises_job_error(jobs):
+    with pytest.raises(JobError) as excinfo:
+        parallel_map(_fail_on_three, [1, 2, 3, 4], jobs=jobs)
+    assert excinfo.value.index == 2
+    assert excinfo.value.item == 3
+    assert "boom on 3" in excinfo.value.worker_traceback
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_return_errors_collects_all_outcomes(jobs):
+    results = parallel_map(
+        _fail_on_three, [3, 1, 3, 2], jobs=jobs, return_errors=True
+    )
+    assert [r.ok for r in results] == [False, True, False, True]
+    assert [r.value for r in results if r.ok] == [1, 2]
+    assert all("boom on 3" in r.error for r in results if not r.ok)
+
+
+def test_chunking_covers_all_items_contiguously():
+    pairs = list(enumerate(range(10)))
+    chunks = _chunked(pairs, jobs=3, chunksize=None)
+    flat = [pair for chunk in chunks for pair in chunk]
+    assert flat == pairs
+    explicit = _chunked(pairs, jobs=3, chunksize=4)
+    assert [len(c) for c in explicit] == [4, 4, 2]
+
+
+def test_empty_and_single_item():
+    assert parallel_map(_square, [], jobs=4) == []
+    assert parallel_map(_square, [5], jobs=4) == [25]
+
+
+def test_labels_length_validated():
+    with pytest.raises(ValueError):
+        parallel_map(_square, [1, 2], jobs=1, labels=["only-one"])
+
+
+def test_progress_reporter_lines():
+    stream = io.StringIO()
+    progress = ProgressReporter(total=3, stream=stream)
+    pool = ParallelMap(jobs=1, progress=progress)
+    assert pool.map(_square, [1, 2, 3], labels=["a", "b", "c"]) == [1, 4, 9]
+    lines = stream.getvalue().strip().splitlines()
+    assert len(lines) == 3
+    assert lines[0].startswith("[1/3] a")
+    assert lines[2].startswith("[3/3] c")
+    assert progress.done == 3
+
+
+def test_progress_reports_failures():
+    stream = io.StringIO()
+    progress = ProgressReporter(total=2, stream=stream)
+    pool = ParallelMap(jobs=1, progress=progress)
+    pool.map(_fail_on_three, [3, 1], return_errors=True)
+    assert "FAILED" in stream.getvalue().splitlines()[0]
