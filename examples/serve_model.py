@@ -1,0 +1,26 @@
+"""Train once, serve anywhere: the `repro.api.Session` facade.
+
+Run twice to see the artifact store at work::
+
+    PYTHONPATH=src python examples/serve_model.py
+    PYTHONPATH=src python examples/serve_model.py   # reuses, no retraining
+
+Equivalent CLI: ``repro train --scale smoke`` then
+``repro predict 505.mcf --scale smoke --evaluate``.
+"""
+
+from repro.api import Session, predicted_times_row
+
+session = Session(scale="smoke")
+
+result = session.train()  # loads the stored artifact when one matches
+print(f"artifact {result.artifact_id} "
+      f"({'reused from store' if result.reused else 'freshly trained'})")
+
+# Pure serving: trace -> features -> stored model. No simulation.
+times = session.predict("505.mcf")
+print("505.mcf:", predicted_times_row(times))
+
+# Against simulated ground truth (505.mcf is an *unseen* program):
+for name, summary in session.evaluate(["505.mcf"]).items():
+    print(f"{name}: {summary.row()}")

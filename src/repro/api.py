@@ -1,0 +1,240 @@
+"""High-level facade: ``repro.api.Session``.
+
+One object wires the whole serving pipeline together — workloads →
+features → store-backed models:
+
+>>> from repro.api import Session
+>>> session = Session(scale="smoke")
+>>> result = session.train()                    # trains or reuses an artifact
+>>> session.predict("505.mcf")                  # {config name: predicted ticks}
+>>> session.evaluate(["505.mcf"])               # {benchmark: ErrorSummary}
+
+``train`` consults the :class:`~repro.models.store.ModelStore` first: an
+artifact with the same family, spec, training provenance and dataset
+fingerprint is loaded instead of retrained, so warm sessions — including
+**fresh processes** — skip straight to serving. ``predict`` never
+trains; it refuses with a clear error when no artifact exists.
+
+The CLI verbs ``repro train`` / ``repro predict`` / ``repro models
+list`` are thin wrappers over this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache import dataset_cache_dir, model_store_dir
+from repro.core.errors import ErrorSummary
+from repro.experiments.common import ScaleConfig, get_scale
+from repro.features.dataset import (
+    DEFAULT_CACHE_DIR,
+    TraceDataset,
+    build_dataset,
+)
+from repro.features.encoder import encode_trace
+from repro.models import ModelStore, PerformanceModel, StoreError, create
+from repro.models.registry import get_family
+from repro.models.store import training_provenance
+from repro.uarch import sample_configs
+from repro.uarch.config import MicroarchConfig
+from repro.workloads import TRAIN_BENCHMARKS, get_trace
+
+
+@dataclass(frozen=True)
+class TrainResult:
+    """What :meth:`Session.train` hands back."""
+
+    artifact_id: str
+    model: PerformanceModel
+    reused: bool  # True when the store satisfied the request
+    errors: dict[str, ErrorSummary] = field(default_factory=dict)
+
+
+class Session:
+    """Train, store, load and serve performance models at one scale."""
+
+    def __init__(
+        self,
+        scale: str | ScaleConfig = "bench",
+        cache_dir: str | None = None,
+        jobs: int | None = 1,
+        store: ModelStore | None = None,
+    ):
+        self.scale = get_scale(scale)
+        self.cache_dir = cache_dir  # None -> REPRO_CACHE_DIR / .repro_cache
+        self.jobs = jobs
+        self.store = store or ModelStore(model_store_dir(cache_dir))
+        self._configs: list[MicroarchConfig] | None = None
+        self._datasets: dict[tuple[str, ...], TraceDataset] = {}
+
+    # -- shared ingredients ----------------------------------------------
+    def configs(self) -> list[MicroarchConfig]:
+        """The scale's sampled training microarchitectures."""
+        if self._configs is None:
+            self._configs = sample_configs(
+                n_ooo=self.scale.n_ooo, n_inorder=self.scale.n_inorder,
+                seed=self.scale.seed,
+                include_presets=self.scale.include_presets,
+            )
+        return self._configs
+
+    def dataset(self, benchmarks: tuple[str, ...] | list[str]) -> TraceDataset:
+        """Cached (features, per-config targets) over ``benchmarks``."""
+        key = tuple(benchmarks)
+        ds = self._datasets.get(key)
+        if ds is None:
+            ds = build_dataset(
+                list(benchmarks), self.configs(), self.scale.instructions,
+                cache_dir=(
+                    dataset_cache_dir(self.cache_dir)
+                    if self.cache_dir else DEFAULT_CACHE_DIR
+                ),
+                jobs=self.jobs,
+            )
+            self._datasets[key] = ds
+        return ds
+
+    def default_spec(self, family: str) -> dict:
+        """Scale-derived hyper-parameters for a family (perfvec only —
+        baseline adapters carry their own defaults)."""
+        if family == "perfvec":
+            return {
+                "arch": self.scale.spec,
+                "chunk_len": self.scale.chunk_len,
+                "batch_size": self.scale.batch_size,
+                "epochs": self.scale.epochs,
+                "seed": self.scale.seed,
+            }
+        return {}
+
+    # -- training ---------------------------------------------------------
+    def train(
+        self,
+        family: str = "perfvec",
+        benchmarks: tuple[str, ...] = TRAIN_BENCHMARKS,
+        reuse: bool = True,
+        evaluate: bool = True,
+        tag: str | None = None,
+        **overrides,
+    ) -> TrainResult:
+        """Train ``family`` on ``benchmarks`` — or reuse a stored artifact.
+
+        The store is queried by (family, spec, training provenance,
+        dataset fingerprint); an exact hit is loaded instead of
+        retrained. ``overrides`` feed the family's constructor.
+        """
+        dataset = self.dataset(benchmarks)
+        fingerprint = dataset.fingerprint()
+        spec = {**self.default_spec(family), **overrides}
+        # materialize the full spec (constructor defaults included) so the
+        # store lookup is exact
+        spec = create(family, **spec).spec
+        train_config = self._train_config(family, benchmarks)
+        artifact_id = None
+        if reuse:
+            artifact_id = self.store.find(
+                family=family, dataset_fingerprint=fingerprint, spec=spec,
+                train_config=train_config,
+            )
+        if artifact_id is not None:
+            model = self.store.load(artifact_id, expect_fingerprint=fingerprint)
+            reused = True
+        else:
+            model = create(family, **spec).fit(dataset, configs=self.configs())
+            artifact_id = self.store.put(
+                model, dataset_fingerprint=fingerprint,
+                train_config=train_config, tag=tag,
+            )
+            reused = False
+        errors = model.evaluate(dataset) if evaluate else {}
+        return TrainResult(
+            artifact_id=artifact_id, model=model, reused=reused, errors=errors
+        )
+
+    def _train_config(
+        self, family: str, benchmarks: tuple[str, ...] | list[str]
+    ) -> dict:
+        return training_provenance(self.scale.name, family, benchmarks)
+
+    # -- serving ----------------------------------------------------------
+    def model(
+        self, artifact: str | None = None, family: str = "perfvec"
+    ) -> PerformanceModel:
+        """Load a stored model — never trains.
+
+        ``artifact`` pins an id; otherwise the newest artifact of
+        ``family`` trained at this session's scale is used. There is no
+        cross-scale fallback: scales sample *different*
+        microarchitectures under the same names, so serving another
+        scale's artifact here would silently mislabel every prediction —
+        pin ``artifact`` explicitly to do that on purpose.
+        """
+        if artifact is not None:
+            return self.store.load(artifact)
+        get_family(family)  # fail early on unknown families
+        for manifest in self.store.list():
+            if manifest["family"] != family:
+                continue
+            if (
+                (manifest.get("train_config") or {}).get("scale")
+                == self.scale.name
+            ):
+                return self.store.load(manifest["id"])
+        raise StoreError(
+            f"no stored {family!r} artifact for scale "
+            f"{self.scale.name!r} under {self.store.root}; "
+            "run Session.train() (or `repro train`) first"
+        )
+
+    def predict(
+        self,
+        benchmark: str,
+        config: str | None = None,
+        artifact: str | None = None,
+        family: str = "perfvec",
+    ) -> dict[str, float] | float:
+        """Predicted total execution time (0.1 ns ticks) for ``benchmark``.
+
+        Pure serving: the benchmark is traced and feature-encoded (no
+        simulation) and a stored model predicts every microarchitecture
+        it knows — or just ``config``. Only families with a
+        feature-stream serving path (``perfvec``) support this; others
+        need simulated inputs and go through :meth:`evaluate`.
+        """
+        model = self.model(artifact, family)
+        if not hasattr(model, "predict_features"):
+            raise TypeError(
+                f"family {model.family!r} has no feature-stream serving "
+                "path; use Session.evaluate() for simulation-based "
+                "comparisons"
+            )
+        features = encode_trace(
+            get_trace(benchmark, self.scale.instructions)
+        )
+        times = model.predict_features(features)
+        if config is not None:
+            return float(times[model.config_names.index(config)])
+        return dict(zip(model.config_names, times.tolist()))
+
+    def evaluate(
+        self,
+        benchmarks: tuple[str, ...] | list[str],
+        artifact: str | None = None,
+        family: str = "perfvec",
+    ) -> dict[str, ErrorSummary]:
+        """Stored-model prediction error vs simulated ground truth."""
+        model = self.model(artifact, family)
+        return model.evaluate(self.dataset(benchmarks))
+
+    # -- inspection -------------------------------------------------------
+    def models(self) -> list[dict]:
+        """Manifests of every stored artifact, newest first."""
+        return self.store.list()
+
+
+def predicted_times_row(times: dict[str, float]) -> str:
+    """One-line rendering of a :meth:`Session.predict` result."""
+    return "  ".join(f"{name}={ticks:.4g}" for name, ticks in times.items())
+
+
+__all__ = ["Session", "TrainResult", "predicted_times_row"]

@@ -26,6 +26,24 @@ class CrossProgramPredictor:
         self._weights: np.ndarray | None = None
         self._signature_indices: list[int] | None = None
 
+    @property
+    def signature_indices(self) -> list[int]:
+        """Config columns whose measured times form a program's signature."""
+        if self._signature_indices is None:
+            raise RuntimeError("model not fitted")
+        return list(self._signature_indices)
+
+    @classmethod
+    def from_state(
+        cls, weights: np.ndarray, signature_indices: list[int],
+        ridge: float = 1e-3,
+    ) -> "CrossProgramPredictor":
+        """Rebuild a fitted predictor from stored state (model artifacts)."""
+        model = cls(n_signature=len(signature_indices), ridge=ridge)
+        model._weights = np.asarray(weights, dtype=np.float64)
+        model._signature_indices = [int(i) for i in signature_indices]
+        return model
+
     # ------------------------------------------------------------------
     @staticmethod
     def _params(configs: list[MicroarchConfig]) -> np.ndarray:
@@ -85,8 +103,18 @@ class CrossProgramPredictor:
         """
         if self._weights is None:
             raise RuntimeError("model not fitted")
+        return self.predict_from_params(self._params(configs), signature_times)
+
+    def predict_from_params(
+        self, params: np.ndarray, signature_times: np.ndarray
+    ) -> np.ndarray:
+        """Like :meth:`predict`, but from precomputed parameter vectors
+        (``MicroarchConfig.to_feature_vector`` rows) — the form a stored
+        model artifact can evaluate without the config objects."""
+        if self._weights is None:
+            raise RuntimeError("model not fitted")
         signature = np.log(np.asarray(signature_times, dtype=np.float64))
         if len(signature) != self.n_signature:
             raise ValueError("signature length mismatch")
-        design = self._design(self._params(configs), signature)
+        design = self._design(np.asarray(params, dtype=np.float64), signature)
         return np.exp(design @ self._weights)

@@ -53,7 +53,12 @@ class ProgramSpecificMLP:
         return self
 
     def predict(self, configs: list[MicroarchConfig]) -> np.ndarray:
+        return self.predict_params(self.encode(configs))
+
+    def predict_params(self, params: np.ndarray) -> np.ndarray:
+        """Like :meth:`predict`, but from precomputed :meth:`encode` rows
+        (the form a stored model artifact evaluates without configs)."""
         if self._net is None:
             raise RuntimeError("model not fitted")
-        x = Tensor(self.encode(configs))
+        x = Tensor(np.asarray(params, dtype=np.float32))
         return self._net(x).data[:, 0].astype(np.float64) * self._scale

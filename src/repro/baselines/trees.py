@@ -118,6 +118,67 @@ class RegressionTree:
             out[i] = node.value
         return out
 
+    # ------------------------------------------------------------------
+    def to_arrays(self) -> dict[str, np.ndarray]:
+        """Flatten the fitted tree into parallel preorder arrays.
+
+        ``left``/``right`` hold child node indices (-1 for leaves), so the
+        structure round-trips exactly through :meth:`from_arrays` — leaf
+        values are stored as float64, making reloaded predictions
+        byte-identical.
+        """
+        if self._root is None:
+            raise RuntimeError("tree not fitted")
+        feature: list[int] = []
+        threshold: list[float] = []
+        value: list[float] = []
+        left: list[int] = []
+        right: list[int] = []
+
+        def add(node: _Node) -> int:
+            idx = len(feature)
+            feature.append(node.feature)
+            threshold.append(node.threshold)
+            value.append(node.value)
+            left.append(-1)
+            right.append(-1)
+            if not node.is_leaf:
+                left[idx] = add(node.left)
+                right[idx] = add(node.right)
+            return idx
+
+        add(self._root)
+        return {
+            "feature": np.asarray(feature, dtype=np.int64),
+            "threshold": np.asarray(threshold, dtype=np.float64),
+            "value": np.asarray(value, dtype=np.float64),
+            "left": np.asarray(left, dtype=np.int64),
+            "right": np.asarray(right, dtype=np.int64),
+        }
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: dict[str, np.ndarray], max_depth: int = 4,
+        min_leaf: int = 2,
+    ) -> "RegressionTree":
+        """Rebuild a tree saved by :meth:`to_arrays`."""
+        tree = cls(max_depth=max_depth, min_leaf=min_leaf)
+
+        def build(idx: int) -> _Node:
+            node = _Node(
+                feature=int(arrays["feature"][idx]),
+                threshold=float(arrays["threshold"][idx]),
+                value=float(arrays["value"][idx]),
+            )
+            left = int(arrays["left"][idx])
+            if left >= 0:
+                node.left = build(left)
+                node.right = build(int(arrays["right"][idx]))
+            return node
+
+        tree._root = build(0)
+        return tree
+
     @property
     def depth(self) -> int:
         def walk(node):

@@ -1,0 +1,50 @@
+"""Cache-location resolution.
+
+Every on-disk cache (dataset npz files, stored model artifacts) lives
+under one *cache root*, resolved per call in priority order:
+
+1. an explicit ``cache_dir``/``root`` argument (CLI ``--cache-dir``);
+2. the ``REPRO_CACHE_DIR`` environment variable;
+3. ``.repro_cache/`` in the current working directory.
+
+Resolution happens at call time, not import time, so tests and the CLI
+can redirect every cache by setting the environment variable (or passing
+``--cache-dir``, which does exactly that) without reimporting anything.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Fallback cache root when ``REPRO_CACHE_DIR`` is unset.
+DEFAULT_CACHE_ROOT = ".repro_cache"
+
+#: Environment variable that overrides the default cache root.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def cache_root(override: str | None = None) -> str:
+    """The cache root directory (not created here)."""
+    if override:
+        return override
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_ROOT
+
+
+def dataset_cache_dir(root: str | None = None) -> str:
+    """Where :mod:`repro.features.dataset` keeps its npz cache."""
+    return os.path.join(cache_root(root), "datasets")
+
+
+def model_store_dir(root: str | None = None) -> str:
+    """Where :class:`repro.models.store.ModelStore` keeps artifacts."""
+    return os.path.join(cache_root(root), "models")
+
+
+def set_cache_root(path: str | None) -> None:
+    """Process-wide cache-root override (the CLI's ``--cache-dir``).
+
+    Exported as ``REPRO_CACHE_DIR`` so worker processes spawned by
+    :mod:`repro.runtime` resolve the same root.
+    """
+    if path:
+        os.environ[CACHE_DIR_ENV] = path

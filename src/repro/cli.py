@@ -6,10 +6,15 @@ Subcommands::
     repro run fig3_seen_unseen      # one experiment (default scale: bench)
     repro run-all --scale bench     # every experiment, saving JSON results
     repro bench-suite --scale bench # trace + simulate the whole suite once
+    repro train --scale smoke       # train (or reuse) a stored model
+    repro predict 505.mcf --scale smoke   # serve predictions from the store
+    repro models list               # stored artifacts
 
 Every runner subcommand takes ``--jobs N`` (default: all cores) to fan
 trace simulations — and, for ``run-all``, whole experiments — out across
-worker processes via :mod:`repro.runtime`.
+worker processes via :mod:`repro.runtime`, and ``--cache-dir DIR`` to
+redirect every on-disk cache (datasets + model store; equivalent to
+setting ``REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -100,6 +105,71 @@ def _cmd_bench_suite(args) -> int:
     return 0
 
 
+def _cmd_train(args) -> int:
+    from repro.api import Session
+
+    print(_resolved_header(f"train {args.model}", args.scale, args.jobs))
+    session = Session(scale=args.scale, jobs=args.jobs)
+    benchmarks = _benchmarks_value(args.benchmarks)
+    kwargs = {"benchmarks": benchmarks} if benchmarks else {}
+    result = session.train(
+        family=args.model, reuse=not args.retrain, tag=args.tag, **kwargs
+    )
+    print(f"artifact: {result.artifact_id} "
+          f"({'reused from store' if result.reused else 'trained'})")
+    for name, summary in result.errors.items():
+        print(f"  {name:>16s}  {summary.row()}")
+    return 0
+
+
+def _cmd_predict(args) -> int:
+    from repro.api import Session, predicted_times_row
+
+    print(_resolved_header(f"predict {args.benchmark}", args.scale, args.jobs))
+    session = Session(scale=args.scale, jobs=args.jobs)
+    times = session.predict(
+        args.benchmark, config=args.config, artifact=args.artifact,
+        family=args.model,
+    )
+    if args.config is not None:
+        print(f"{args.benchmark} @ {args.config}: {times:.6g} ticks")
+    else:
+        print(f"{args.benchmark}: {predicted_times_row(times)}")
+    if args.evaluate:
+        errors = session.evaluate(
+            [args.benchmark], artifact=args.artifact, family=args.model
+        )
+        for name, summary in errors.items():
+            print(f"  {name:>16s}  {summary.row()}")
+    return 0
+
+
+def _cmd_models(args) -> int:
+    from repro.models import ModelStore
+
+    store = ModelStore()
+    manifests = store.list()
+    if not manifests:
+        print(f"no stored models under {store.root}")
+        return 0
+    print(f"{len(manifests)} artifact(s) under {store.root}:")
+    for manifest in manifests:
+        train_config = manifest.get("train_config") or {}
+        scale = train_config.get("scale", "-")
+        fingerprint = manifest.get("dataset_fingerprint") or "-"
+        tag = manifest.get("tag")
+        suffix = f"  tag={tag}" if tag else ""
+        print(f"  {manifest['id']:<42s} scale={scale:<6s} "
+              f"data={fingerprint}{suffix}")
+    return 0
+
+
+def _benchmarks_value(text: str | None) -> tuple[str, ...] | None:
+    if not text:
+        return None
+    return tuple(name.strip() for name in text.split(",") if name.strip())
+
+
 def _jobs_value(text: str) -> int:
     value = int(text)
     if value < 0:
@@ -113,6 +183,14 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--jobs", type=_jobs_value, default=0, metavar="N",
         help="worker processes (default: all cores; 1 = serial)",
+    )
+
+
+def _add_cache_dir_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="cache root for datasets + model store "
+             "(default: $REPRO_CACHE_DIR or .repro_cache)",
     )
 
 
@@ -135,21 +213,75 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--scale", default="bench")
     p_run.add_argument("--save", action="store_true")
     _add_jobs_flag(p_run)
+    _add_cache_dir_flag(p_run)
 
     p_all = sub.add_parser("run-all", help="run every experiment")
     p_all.add_argument("--scale", default="bench")
     _add_jobs_flag(p_all)
+    _add_cache_dir_flag(p_all)
 
     p_suite = sub.add_parser("bench-suite", help="build the full suite dataset")
     p_suite.add_argument("--scale", default="bench")
     _add_jobs_flag(p_suite)
+    _add_cache_dir_flag(p_suite)
+
+    p_train = sub.add_parser(
+        "train", help="train a performance model into the store (or reuse)"
+    )
+    p_train.add_argument("--scale", default="bench")
+    p_train.add_argument(
+        "--model", default="perfvec", metavar="FAMILY",
+        help="model family (see `repro models list` / repro.models.available)",
+    )
+    p_train.add_argument(
+        "--benchmarks", default=None, metavar="A,B,...",
+        help="comma-separated training benchmarks (default: the train split)",
+    )
+    p_train.add_argument(
+        "--retrain", action="store_true",
+        help="train even when a matching stored artifact exists",
+    )
+    p_train.add_argument("--tag", default=None, help="free-form artifact tag")
+    _add_jobs_flag(p_train)
+    _add_cache_dir_flag(p_train)
+
+    p_predict = sub.add_parser(
+        "predict", help="serve predictions from a stored model (no training)"
+    )
+    p_predict.add_argument("benchmark")
+    p_predict.add_argument("--scale", default="bench")
+    p_predict.add_argument("--model", default="perfvec", metavar="FAMILY")
+    p_predict.add_argument(
+        "--artifact", default=None, metavar="ID",
+        help="artifact id (default: newest of the family at this scale)",
+    )
+    p_predict.add_argument(
+        "--config", default=None, metavar="NAME",
+        help="single microarchitecture (default: every known config)",
+    )
+    p_predict.add_argument(
+        "--evaluate", action="store_true",
+        help="also simulate ground truth and print the error summary",
+    )
+    _add_jobs_flag(p_predict)
+    _add_cache_dir_flag(p_predict)
+
+    p_models = sub.add_parser("models", help="inspect the model store")
+    p_models.add_argument("action", choices=["list"])
+    _add_cache_dir_flag(p_models)
 
     args = parser.parse_args(argv)
+    from repro.cache import set_cache_root
+
+    set_cache_root(getattr(args, "cache_dir", None))
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
         "run-all": _cmd_run_all,
         "bench-suite": _cmd_bench_suite,
+        "train": _cmd_train,
+        "predict": _cmd_predict,
+        "models": _cmd_models,
     }
     return handlers[args.command](args)
 

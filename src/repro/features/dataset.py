@@ -34,14 +34,20 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cache import dataset_cache_dir
 from repro.features.encoder import NUM_FEATURES, encode_trace
 from repro.runtime import ParallelMap, ProgressReporter
 from repro.sim import CPUSimulator
 from repro.uarch.config import MicroarchConfig
 from repro.workloads import get_trace
 
-#: Default on-disk cache location (created lazily).
-DEFAULT_CACHE_DIR = os.path.join(".repro_cache", "datasets")
+#: Default ``cache_dir`` sentinel: resolve ``REPRO_CACHE_DIR`` (or
+#: ``.repro_cache/``) at call time via :mod:`repro.cache`.
+DEFAULT_CACHE_DIR = "auto"
+
+
+def _resolve_cache_dir(cache_dir: str | None) -> str | None:
+    return dataset_cache_dir() if cache_dir == DEFAULT_CACHE_DIR else cache_dir
 
 
 @dataclass(frozen=True)
@@ -95,6 +101,20 @@ class TraceDataset:
             name: self.targets[start:end].astype(np.float64).sum(axis=0)
             for name, start, end in self.segments
         }
+
+    def fingerprint(self) -> str:
+        """Content hash over every array and label (model-artifact keying).
+
+        Two datasets with the same fingerprint are byte-identical, so a
+        model trained on one is exactly reusable on the other — this is
+        what :class:`repro.models.store.ModelStore` records and checks.
+        """
+        h = hashlib.sha256()
+        h.update(np.ascontiguousarray(self.features).tobytes())
+        h.update(np.ascontiguousarray(self.targets).tobytes())
+        h.update(repr(self.segments).encode())
+        h.update(repr(self.config_names).encode())
+        return h.hexdigest()[:16]
 
 
 def _config_digest(configs: list[MicroarchConfig]) -> str:
@@ -286,7 +306,8 @@ def build_benchmark_arrays(
 ) -> tuple[np.ndarray, np.ndarray]:
     """(features, targets) for one benchmark, via the on-disk cache."""
     return _build_many(
-        [name], configs, max_instructions, seed, cache_dir, jobs, progress
+        [name], configs, max_instructions, seed, _resolve_cache_dir(cache_dir),
+        jobs, progress,
     )[name]
 
 
@@ -313,8 +334,8 @@ def build_dataset(
     if len(set(names)) != len(names):
         raise ValueError("config names must be unique")
     arrays = _build_many(
-        list(benchmarks), configs, max_instructions, seed, cache_dir, jobs,
-        progress,
+        list(benchmarks), configs, max_instructions, seed,
+        _resolve_cache_dir(cache_dir), jobs, progress,
     )
     feature_blocks = []
     target_blocks = []

@@ -1,4 +1,9 @@
-"""Model state persistence (npz)."""
+"""Model state persistence (npz).
+
+All writes are atomic (tmp file + rename), so an interrupted save can
+never leave a truncated artifact behind — readers either see the old
+complete file or the new complete file.
+"""
 
 from __future__ import annotations
 
@@ -9,13 +14,36 @@ import numpy as np
 from repro.ml.layers import Module
 
 
-def save_state(model: Module, path: str) -> None:
-    """Save a model's parameters to ``path`` (npz)."""
+def save_arrays(path: str, arrays: dict[str, np.ndarray]) -> str:
+    """Atomically write named arrays to ``path`` (npz); returns the path.
+
+    Mirrors ``np.savez_compressed``'s naming: a ``.npz`` suffix is added
+    when missing.
+    """
+    if not path.endswith(".npz"):
+        path = f"{path}.npz"
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-    np.savez_compressed(path, **model.state_dict())
+    tmp = f"{path}.{os.getpid()}.tmp.npz"
+    try:
+        np.savez_compressed(tmp, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+    return path
+
+
+def load_arrays(path: str) -> dict[str, np.ndarray]:
+    """Load every array saved by :func:`save_arrays`."""
+    with np.load(path) as data:
+        return {k: data[k] for k in data.files}
+
+
+def save_state(model: Module, path: str) -> None:
+    """Save a model's parameters to ``path`` (npz, atomic)."""
+    save_arrays(path, model.state_dict())
 
 
 def load_state(model: Module, path: str) -> None:
     """Load parameters saved by :func:`save_state` into ``model``."""
-    with np.load(path) as data:
-        model.load_state_dict({k: data[k] for k in data.files})
+    model.load_state_dict(load_arrays(path))

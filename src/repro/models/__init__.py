@@ -1,0 +1,48 @@
+"""Unified model-facing public API.
+
+* :mod:`~repro.models.base` — the :class:`PerformanceModel` estimator
+  protocol every family implements (``fit`` / ``predict`` / ``evaluate``
+  / ``save`` / ``load`` plus ``spec`` / ``metadata``).
+* :mod:`~repro.models.adapters` — thin adapters putting
+  :class:`repro.core.perfvec.PerfVec` and the five baselines behind the
+  protocol (the low-level modules are untouched).
+* :mod:`~repro.models.registry` — family name → factory; the CLI,
+  experiments and :class:`repro.api.Session` construct models here.
+* :mod:`~repro.models.store` — the versioned, content-addressed artifact
+  store (``ModelStore``) with dataset-fingerprint provenance checks.
+"""
+
+from repro.models.base import (
+    NotFittedError,
+    PerformanceModel,
+    load_model,
+)
+from repro.models.registry import available, create, get_family, register
+from repro.models.store import FingerprintMismatch, ModelStore, StoreError
+from repro.models.adapters import (
+    ActBoostAdapter,
+    CrossProgramAdapter,
+    IthemalAdapter,
+    PerfVecModel,
+    ProgramSpecificAdapter,
+    SimNetAdapter,
+)
+
+__all__ = [
+    "PerformanceModel",
+    "NotFittedError",
+    "load_model",
+    "register",
+    "create",
+    "available",
+    "get_family",
+    "ModelStore",
+    "StoreError",
+    "FingerprintMismatch",
+    "PerfVecModel",
+    "IthemalAdapter",
+    "SimNetAdapter",
+    "ProgramSpecificAdapter",
+    "CrossProgramAdapter",
+    "ActBoostAdapter",
+]

@@ -1,0 +1,648 @@
+"""Thin :class:`~repro.models.base.PerformanceModel` adapters.
+
+One adapter per model family, wrapping the untouched low-level modules:
+
+==================  ====================================================
+family              wraps
+==================  ====================================================
+``perfvec``         :func:`repro.core.training.train_foundation` /
+                    :class:`repro.core.perfvec.PerfVec`
+``ithemal``         :class:`repro.baselines.ithemal.IthemalModel`
+``simnet``          :class:`repro.baselines.simnet.SimNetModel`
+``program_specific``:class:`repro.baselines.program_specific.ProgramSpecificMLP`
+``cross_program``   :class:`repro.baselines.cross_program.CrossProgramPredictor`
+``actboost``        :class:`repro.baselines.actboost.AdaBoostR2`
+==================  ====================================================
+
+Families that consume microarchitecture *parameters* (``simnet``,
+``program_specific``, ``cross_program``, ``actboost``) need the
+:class:`~repro.uarch.config.MicroarchConfig` objects behind the dataset's
+columns at fit time (``configs=``) and snapshot whatever they need from
+them — parameter vectors, or the full config for SimNet's feature
+extraction — so stored artifacts predict without the objects.
+
+Trace-walking families (``ithemal``, ``simnet``) regenerate each
+benchmark's trace deterministically from its segment length (the
+functional VM always truncates at exactly the requested budget), which
+keeps traces out of the artifact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.actboost import AdaBoostR2
+from repro.baselines.cross_program import CrossProgramPredictor
+from repro.baselines.ithemal import IthemalModel, extract_basic_blocks
+from repro.baselines.program_specific import ProgramSpecificMLP
+from repro.baselines.simnet import SIMNET_FEATURES, SimNetModel, simnet_features
+from repro.baselines.trees import RegressionTree
+from repro.core.foundation import make_foundation
+from repro.core.perfvec import PerfVec
+from repro.core.predictor import MicroarchTable
+from repro.core.training import FoundationTrainConfig, train_foundation
+from repro.features.dataset import TraceDataset
+from repro.ml.layers import MLP
+from repro.ml.trainer import TrainHistory
+from repro.models.base import PerformanceModel
+from repro.models.registry import register
+from repro.uarch.config import MicroarchConfig, config_from_dict
+from repro.workloads import get_trace
+
+
+def _require_configs(
+    family: str,
+    dataset: TraceDataset,
+    configs: list[MicroarchConfig] | None,
+) -> list[MicroarchConfig]:
+    if configs is None:
+        raise ValueError(
+            f"the {family!r} family consumes microarchitecture parameters: "
+            "pass configs= (the MicroarchConfig list behind the dataset "
+            "columns) to fit()"
+        )
+    names = tuple(c.name for c in configs)
+    if names != dataset.config_names:
+        raise ValueError(
+            "configs must match the dataset's config columns in order: "
+            f"{names} vs {dataset.config_names}"
+        )
+    return configs
+
+
+def _config_params(configs: list[MicroarchConfig]) -> np.ndarray:
+    return np.stack([c.to_feature_vector() for c in configs]).astype(np.float64)
+
+
+def _segment_trace(dataset: TraceDataset, name: str, start: int, end: int,
+                   trace_seed: int | None):
+    return get_trace(name, end - start, seed=trace_seed)
+
+
+def _prefixed(prefix: str, arrays: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    return {f"{prefix}{k}": v for k, v in arrays.items()}
+
+
+def _unprefixed(prefix: str, arrays: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    return {
+        k[len(prefix):]: v for k, v in arrays.items() if k.startswith(prefix)
+    }
+
+
+# ---------------------------------------------------------------------------
+# PerfVec
+# ---------------------------------------------------------------------------
+@register
+class PerfVecModel(PerformanceModel):
+    """The paper's model: foundation + microarchitecture table."""
+
+    family = "perfvec"
+
+    def __init__(self, arch: str = "lstm-2-256", chunk_len: int = 64,
+                 batch_size: int = 16, epochs: int = 50, lr: float = 1e-3,
+                 lr_step: int = 10, lr_gamma: float = 0.1, seed: int = 0):
+        self.arch = arch
+        self.chunk_len = chunk_len
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.lr = lr
+        self.lr_step = lr_step
+        self.lr_gamma = lr_gamma
+        self.seed = seed
+        self.perfvec: PerfVec | None = None
+        self.history: TrainHistory | None = None
+
+    @property
+    def spec(self) -> dict:
+        return {
+            "arch": self.arch, "chunk_len": self.chunk_len,
+            "batch_size": self.batch_size, "epochs": self.epochs,
+            "lr": self.lr, "lr_step": self.lr_step,
+            "lr_gamma": self.lr_gamma, "seed": self.seed,
+        }
+
+    @property
+    def metadata(self) -> dict:
+        if self.perfvec is None:
+            return {}
+        meta: dict = {"config_names": list(self.perfvec.table.config_names)}
+        if self.history is not None:
+            meta["history"] = {
+                "train_losses": self.history.train_losses,
+                "val_losses": self.history.val_losses,
+                "best_epoch": self.history.best_epoch,
+                "best_val_loss": self.history.best_val_loss,
+                "seconds": self.history.seconds,
+            }
+        return meta
+
+    @property
+    def config_names(self) -> tuple[str, ...]:
+        return self.perfvec.table.config_names if self.perfvec else ()
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.perfvec is not None
+
+    def fit(self, dataset: TraceDataset,
+            configs: list[MicroarchConfig] | None = None) -> "PerfVecModel":
+        config = FoundationTrainConfig(
+            spec=self.arch, chunk_len=self.chunk_len,
+            batch_size=self.batch_size, epochs=self.epochs, lr=self.lr,
+            lr_step=self.lr_step, lr_gamma=self.lr_gamma, seed=self.seed,
+        )
+        self.perfvec, self.history = train_foundation(dataset, config)
+        return self
+
+    def predict_features(self, features: np.ndarray) -> np.ndarray:
+        """Total time (ticks) on every known config from a ``[n, 51]``
+        feature stream — no simulation involved (the serving path)."""
+        self._require_fitted()
+        return self.perfvec.predict_program_times(
+            features, chunk_len=self.chunk_len
+        )
+
+    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
+        self._require_fitted()
+        return {
+            name: self.predict_features(dataset.features[start:end])
+            for name, start, end in dataset.segments
+        }
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        self._require_fitted()
+        return self.perfvec.state_dict()
+
+    def restore(self, arrays: dict[str, np.ndarray], metadata: dict) -> None:
+        names = tuple(metadata["config_names"])
+        foundation = make_foundation(self.arch, seed=self.seed)
+        table = MicroarchTable(len(names), foundation.dim, config_names=names)
+        model = PerfVec(foundation, table)
+        model.load_state_dict(arrays)
+        model.eval()
+        self.perfvec = model
+        history = metadata.get("history")
+        self.history = TrainHistory(**history) if history else None
+
+
+# ---------------------------------------------------------------------------
+# Ithemal (basic-block LSTM, per microarchitecture)
+# ---------------------------------------------------------------------------
+@register
+class IthemalAdapter(PerformanceModel):
+    """Basic-block walker; one model per microarchitecture."""
+
+    family = "ithemal"
+
+    def __init__(self, config_name: str | None = None, embed_dim: int = 8,
+                 hidden: int = 16, epochs: int = 4, batch_size: int = 64,
+                 lr: float = 5e-3, seed: int = 0, max_block_len: int = 16,
+                 trace_seed: int | None = None):
+        self.config_name = config_name
+        self.embed_dim = embed_dim
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self.max_block_len = max_block_len
+        self.trace_seed = trace_seed
+        self._model: IthemalModel | None = None
+        self._resolved_config: str | None = None
+
+    @property
+    def spec(self) -> dict:
+        return {
+            "config_name": self.config_name, "embed_dim": self.embed_dim,
+            "hidden": self.hidden, "epochs": self.epochs,
+            "batch_size": self.batch_size, "lr": self.lr, "seed": self.seed,
+            "max_block_len": self.max_block_len,
+            "trace_seed": self.trace_seed,
+        }
+
+    @property
+    def metadata(self) -> dict:
+        if self._model is None:
+            return {}
+        return {
+            "config_name": self._resolved_config,
+            "scale": self._model._scale,
+        }
+
+    @property
+    def config_names(self) -> tuple[str, ...]:
+        return (self._resolved_config,) if self._resolved_config else ()
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    def _blocks(self, dataset: TraceDataset, name: str, start: int, end: int,
+                latencies: np.ndarray):
+        trace = _segment_trace(dataset, name, start, end, self.trace_seed)
+        return extract_basic_blocks(trace, latencies, self.max_block_len)
+
+    def fit(self, dataset: TraceDataset,
+            configs: list[MicroarchConfig] | None = None) -> "IthemalAdapter":
+        column = (
+            dataset.config_names.index(self.config_name)
+            if self.config_name else 0
+        )
+        self._resolved_config = dataset.config_names[column]
+        blocks = []
+        for name, start, end in dataset.segments:
+            latencies = dataset.targets[start:end, column].astype(np.float64)
+            blocks.extend(self._blocks(dataset, name, start, end, latencies))
+        self._model = IthemalModel(
+            embed_dim=self.embed_dim, hidden=self.hidden, seed=self.seed
+        ).fit(blocks, epochs=self.epochs, batch_size=self.batch_size,
+              lr=self.lr, seed=self.seed)
+        return self
+
+    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
+        self._require_fitted()
+        out = {}
+        for name, start, end in dataset.segments:
+            # block structure depends only on the trace, not on latencies
+            blocks = self._blocks(
+                dataset, name, start, end, np.zeros(end - start)
+            )
+            out[name] = np.array([float(self._model.predict(blocks).sum())])
+        return out
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        self._require_fitted()
+        return self._model.state_dict()
+
+    def restore(self, arrays: dict[str, np.ndarray], metadata: dict) -> None:
+        model = IthemalModel(
+            embed_dim=self.embed_dim, hidden=self.hidden, seed=self.seed
+        )
+        model.load_state_dict(arrays)
+        model._scale = float(metadata["scale"])
+        self._model = model
+        self._resolved_config = metadata["config_name"]
+
+
+# ---------------------------------------------------------------------------
+# SimNet (per-instruction MLP over uarch-dependent features)
+# ---------------------------------------------------------------------------
+@register
+class SimNetAdapter(PerformanceModel):
+    """Per-instruction walker over microarchitecture-dependent features."""
+
+    family = "simnet"
+
+    def __init__(self, config_name: str | None = None, hidden: int = 16,
+                 layers: int = 2, epochs: int = 3, batch_size: int = 512,
+                 lr: float = 3e-3, seed: int = 0,
+                 trace_seed: int | None = None):
+        self.config_name = config_name
+        self.hidden = hidden
+        self.layers = layers
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.lr = lr
+        self.seed = seed
+        self.trace_seed = trace_seed
+        self._model: SimNetModel | None = None
+        self._config: MicroarchConfig | None = None
+
+    @property
+    def spec(self) -> dict:
+        return {
+            "config_name": self.config_name, "hidden": self.hidden,
+            "layers": self.layers, "epochs": self.epochs,
+            "batch_size": self.batch_size, "lr": self.lr, "seed": self.seed,
+            "trace_seed": self.trace_seed,
+        }
+
+    @property
+    def metadata(self) -> dict:
+        if self._model is None:
+            return {}
+        return {
+            "config": self._config.to_dict(),
+            "scale": self._model._scale,
+        }
+
+    @property
+    def config_names(self) -> tuple[str, ...]:
+        return (self._config.name,) if self._config else ()
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    def fit(self, dataset: TraceDataset,
+            configs: list[MicroarchConfig] | None = None) -> "SimNetAdapter":
+        configs = _require_configs(self.family, dataset, configs)
+        column = (
+            dataset.config_names.index(self.config_name)
+            if self.config_name else 0
+        )
+        self._config = configs[column]
+        features, latencies = [], []
+        for name, start, end in dataset.segments:
+            trace = _segment_trace(dataset, name, start, end, self.trace_seed)
+            features.append(simnet_features(trace, self._config))
+            latencies.append(
+                dataset.targets[start:end, column].astype(np.float64)
+            )
+        self._model = SimNetModel(
+            hidden=self.hidden, layers=self.layers, epochs=self.epochs,
+            batch_size=self.batch_size, lr=self.lr, seed=self.seed,
+        ).fit(np.concatenate(features), np.concatenate(latencies))
+        return self
+
+    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
+        self._require_fitted()
+        out = {}
+        for name, start, end in dataset.segments:
+            trace = _segment_trace(dataset, name, start, end, self.trace_seed)
+            feats = simnet_features(trace, self._config)
+            out[name] = np.array([self._model.predict_total_time(feats)])
+        return out
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        self._require_fitted()
+        return self._model._net.state_dict()
+
+    def restore(self, arrays: dict[str, np.ndarray], metadata: dict) -> None:
+        model = SimNetModel(
+            hidden=self.hidden, layers=self.layers, epochs=self.epochs,
+            batch_size=self.batch_size, lr=self.lr, seed=self.seed,
+        )
+        sizes = [SIMNET_FEATURES] + [self.hidden] * (self.layers - 1) + [1]
+        model._net = MLP(sizes, rng=np.random.default_rng(self.seed))
+        model._net.load_state_dict(arrays)
+        model._scale = float(metadata["scale"])
+        self._model = model
+        self._config = config_from_dict(metadata["config"])
+
+
+# ---------------------------------------------------------------------------
+# Program-specific MLP (Ipek-style, one model per program)
+# ---------------------------------------------------------------------------
+@register
+class ProgramSpecificAdapter(PerformanceModel):
+    """uarch parameters -> execution time, for one program."""
+
+    family = "program_specific"
+
+    def __init__(self, benchmark: str | None = None, hidden: int = 32,
+                 layers: int = 2, epochs: int = 500, lr: float = 5e-3,
+                 seed: int = 0):
+        self.benchmark = benchmark
+        self.hidden = hidden
+        self.layers = layers
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self._model: ProgramSpecificMLP | None = None
+        self._resolved_benchmark: str | None = None
+        self._config_names: tuple[str, ...] = ()
+        self._params: np.ndarray | None = None
+
+    @property
+    def spec(self) -> dict:
+        return {
+            "benchmark": self.benchmark, "hidden": self.hidden,
+            "layers": self.layers, "epochs": self.epochs, "lr": self.lr,
+            "seed": self.seed,
+        }
+
+    @property
+    def metadata(self) -> dict:
+        if self._model is None:
+            return {}
+        return {
+            "benchmark": self._resolved_benchmark,
+            "config_names": list(self._config_names),
+            "scale": self._model._scale,
+        }
+
+    @property
+    def config_names(self) -> tuple[str, ...]:
+        return self._config_names
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    def fit(self, dataset: TraceDataset,
+            configs: list[MicroarchConfig] | None = None,
+            ) -> "ProgramSpecificAdapter":
+        configs = _require_configs(self.family, dataset, configs)
+        bench = self.benchmark or dataset.segments[0][0]
+        times = dataset.total_times()[bench]
+        self._model = ProgramSpecificMLP(
+            hidden=self.hidden, layers=self.layers, epochs=self.epochs,
+            lr=self.lr, seed=self.seed,
+        ).fit(configs, times)
+        self._resolved_benchmark = bench
+        self._config_names = dataset.config_names
+        self._params = ProgramSpecificMLP.encode(configs)
+        return self
+
+    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
+        self._require_fitted()
+        return {
+            self._resolved_benchmark: self._model.predict_params(self._params)
+        }
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        self._require_fitted()
+        arrays = _prefixed("net.", self._model._net.state_dict())
+        arrays["config_params"] = self._params
+        return arrays
+
+    def restore(self, arrays: dict[str, np.ndarray], metadata: dict) -> None:
+        params = arrays["config_params"]
+        model = ProgramSpecificMLP(
+            hidden=self.hidden, layers=self.layers, epochs=self.epochs,
+            lr=self.lr, seed=self.seed,
+        )
+        sizes = [params.shape[1]] + [self.hidden] * (self.layers - 1) + [1]
+        model._net = MLP(sizes, rng=np.random.default_rng(self.seed))
+        model._net.load_state_dict(_unprefixed("net.", arrays))
+        model._scale = float(metadata["scale"])
+        self._model = model
+        self._resolved_benchmark = metadata["benchmark"]
+        self._config_names = tuple(metadata["config_names"])
+        self._params = params
+
+
+# ---------------------------------------------------------------------------
+# Cross-program (Dubach-style transferable linear predictor)
+# ---------------------------------------------------------------------------
+@register
+class CrossProgramAdapter(PerformanceModel):
+    """Shared ridge model over uarch parameters + program signatures.
+
+    Per the baseline's semantics, prediction for a program uses its
+    *measured* times on the few signature configurations — so
+    :meth:`predict` reads those columns from the evaluation dataset's
+    simulated ground truth (the signature runs are always simulations).
+    """
+
+    family = "cross_program"
+
+    def __init__(self, n_signature: int = 3, ridge: float = 1e-3):
+        self.n_signature = n_signature
+        self.ridge = ridge
+        self._model: CrossProgramPredictor | None = None
+        self._config_names: tuple[str, ...] = ()
+        self._params: np.ndarray | None = None
+
+    @property
+    def spec(self) -> dict:
+        return {"n_signature": self.n_signature, "ridge": self.ridge}
+
+    @property
+    def metadata(self) -> dict:
+        if self._model is None:
+            return {}
+        return {
+            "config_names": list(self._config_names),
+            "signature_indices": self._model.signature_indices,
+        }
+
+    @property
+    def config_names(self) -> tuple[str, ...]:
+        return self._config_names
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    def fit(self, dataset: TraceDataset,
+            configs: list[MicroarchConfig] | None = None,
+            ) -> "CrossProgramAdapter":
+        configs = _require_configs(self.family, dataset, configs)
+        self._model = CrossProgramPredictor(
+            n_signature=self.n_signature, ridge=self.ridge
+        ).fit(configs, dataset.total_times())
+        self._config_names = dataset.config_names
+        self._params = _config_params(configs)
+        return self
+
+    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
+        self._require_fitted()
+        indices = self._model.signature_indices
+        out = {}
+        for name, times in dataset.total_times().items():
+            signature_times = times[indices]
+            out[name] = self._model.predict_from_params(
+                self._params, signature_times
+            )
+        return out
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        self._require_fitted()
+        return {
+            "weights": self._model._weights,
+            "config_params": self._params,
+        }
+
+    def restore(self, arrays: dict[str, np.ndarray], metadata: dict) -> None:
+        self._model = CrossProgramPredictor.from_state(
+            arrays["weights"], metadata["signature_indices"], ridge=self.ridge
+        )
+        self._config_names = tuple(metadata["config_names"])
+        self._params = arrays["config_params"]
+
+
+# ---------------------------------------------------------------------------
+# ActBoost (AdaBoost.R2 over regression trees)
+# ---------------------------------------------------------------------------
+@register
+class ActBoostAdapter(PerformanceModel):
+    """Boosted trees: uarch parameters -> execution time, per program."""
+
+    family = "actboost"
+
+    def __init__(self, benchmark: str | None = None, n_estimators: int = 20,
+                 max_depth: int = 3, seed: int = 0):
+        self.benchmark = benchmark
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.seed = seed
+        self._model: AdaBoostR2 | None = None
+        self._resolved_benchmark: str | None = None
+        self._config_names: tuple[str, ...] = ()
+        self._params: np.ndarray | None = None
+
+    @property
+    def spec(self) -> dict:
+        return {
+            "benchmark": self.benchmark, "n_estimators": self.n_estimators,
+            "max_depth": self.max_depth, "seed": self.seed,
+        }
+
+    @property
+    def metadata(self) -> dict:
+        if self._model is None:
+            return {}
+        return {
+            "benchmark": self._resolved_benchmark,
+            "config_names": list(self._config_names),
+            "n_trees": len(self._model.trees),
+        }
+
+    @property
+    def config_names(self) -> tuple[str, ...]:
+        return self._config_names
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    def fit(self, dataset: TraceDataset,
+            configs: list[MicroarchConfig] | None = None,
+            ) -> "ActBoostAdapter":
+        configs = _require_configs(self.family, dataset, configs)
+        bench = self.benchmark or dataset.segments[0][0]
+        params = _config_params(configs)
+        self._model = AdaBoostR2(
+            n_estimators=self.n_estimators, max_depth=self.max_depth,
+            seed=self.seed,
+        ).fit(params, dataset.total_times()[bench])
+        self._resolved_benchmark = bench
+        self._config_names = dataset.config_names
+        self._params = params
+        return self
+
+    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
+        self._require_fitted()
+        return {
+            self._resolved_benchmark: self._model.predict(self._params)
+        }
+
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        self._require_fitted()
+        arrays: dict[str, np.ndarray] = {
+            "betas": np.asarray(self._model.betas, dtype=np.float64),
+            "config_params": self._params,
+        }
+        for i, tree in enumerate(self._model.trees):
+            arrays.update(_prefixed(f"tree{i}.", tree.to_arrays()))
+        return arrays
+
+    def restore(self, arrays: dict[str, np.ndarray], metadata: dict) -> None:
+        model = AdaBoostR2(
+            n_estimators=self.n_estimators, max_depth=self.max_depth,
+            seed=self.seed,
+        )
+        model.trees = [
+            RegressionTree.from_arrays(
+                _unprefixed(f"tree{i}.", arrays),
+                max_depth=self.max_depth, min_leaf=1,
+            )
+            for i in range(int(metadata["n_trees"]))
+        ]
+        model.betas = [float(b) for b in arrays["betas"]]
+        self._model = model
+        self._resolved_benchmark = metadata["benchmark"]
+        self._config_names = tuple(metadata["config_names"])
+        self._params = arrays["config_params"]

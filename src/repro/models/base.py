@@ -1,0 +1,166 @@
+"""The ``PerformanceModel`` protocol: one estimator shape for every family.
+
+Every performance model in this repo — PerfVec and the five baselines —
+implements the same surface:
+
+* ``fit(dataset, configs=None)`` — train on a
+  :class:`~repro.features.dataset.TraceDataset` (families that consume
+  microarchitecture *parameters* additionally need the
+  :class:`~repro.uarch.config.MicroarchConfig` objects behind the
+  dataset's columns).
+* ``predict(dataset)`` — per-benchmark predicted **total execution
+  times** (0.1 ns ticks), one value per entry of :attr:`config_names`.
+* ``evaluate(dataset)`` — :class:`~repro.core.errors.ErrorSummary` per
+  benchmark against the dataset's simulated ground truth.
+* ``save(path)`` / :func:`load_model` — artifact persistence: a
+  directory holding ``model.json`` (family + spec + metadata) and
+  ``weights.npz`` (every learned array, written atomically via
+  :mod:`repro.ml.serialize`). Reloaded models produce **byte-identical**
+  predictions.
+* ``spec`` / ``metadata`` — the constructor hyper-parameters and the
+  fitted-state summary, both JSON-serializable; together with the weight
+  arrays they fully determine the model.
+
+The low-level modules (:mod:`repro.core`, :mod:`repro.baselines`) stay
+untouched; adapters in :mod:`repro.models.adapters` wrap them.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import os
+from typing import ClassVar
+
+import numpy as np
+
+from repro.core.errors import ErrorSummary, error_summary
+from repro.features.dataset import TraceDataset
+from repro.uarch.config import MicroarchConfig
+
+#: Name of the JSON half of an artifact directory.
+MODEL_JSON = "model.json"
+#: Name of the array half of an artifact directory.
+WEIGHTS_NPZ = "weights.npz"
+
+
+class NotFittedError(RuntimeError):
+    """Raised when predicting or saving with an unfitted model."""
+
+
+class PerformanceModel(abc.ABC):
+    """Uniform estimator protocol over all model families."""
+
+    #: Registry key of the family (set by each adapter class).
+    family: ClassVar[str] = ""
+
+    # -- identity ---------------------------------------------------------
+    @property
+    @abc.abstractmethod
+    def spec(self) -> dict:
+        """Constructor hyper-parameters (JSON-serializable)."""
+
+    @property
+    def metadata(self) -> dict:
+        """Fitted-state summary (JSON-serializable); empty before fit."""
+        return {}
+
+    @property
+    @abc.abstractmethod
+    def config_names(self) -> tuple[str, ...]:
+        """Microarchitectures this model predicts, in prediction order."""
+
+    @property
+    @abc.abstractmethod
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` (or a restore) has produced usable state."""
+
+    # -- estimator --------------------------------------------------------
+    @abc.abstractmethod
+    def fit(
+        self,
+        dataset: TraceDataset,
+        configs: list[MicroarchConfig] | None = None,
+    ) -> "PerformanceModel":
+        """Train on ``dataset``; returns ``self`` for chaining."""
+
+    @abc.abstractmethod
+    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
+        """Per-benchmark predicted total times, aligned with
+        :attr:`config_names`."""
+
+    def evaluate(self, dataset: TraceDataset) -> dict[str, ErrorSummary]:
+        """Prediction-error summary per benchmark vs the dataset's truth."""
+        columns = [dataset.config_names.index(n) for n in self.config_names]
+        truths = dataset.total_times()
+        return {
+            name: error_summary(pred, truths[name][columns])
+            for name, pred in self.predict(dataset).items()
+        }
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise NotFittedError(
+                f"{type(self).__name__} has not been fitted"
+            )
+
+    # -- persistence ------------------------------------------------------
+    @abc.abstractmethod
+    def state_arrays(self) -> dict[str, np.ndarray]:
+        """Every learned array; with ``spec`` + ``metadata`` this fully
+        reconstructs the model."""
+
+    @abc.abstractmethod
+    def restore(self, arrays: dict[str, np.ndarray], metadata: dict) -> None:
+        """Rebuild fitted state from :meth:`state_arrays` output and the
+        saved :attr:`metadata`."""
+
+    def save(self, path: str) -> str:
+        """Write this model as an artifact directory; returns ``path``."""
+        from repro.ml.serialize import save_arrays
+
+        self._require_fitted()
+        os.makedirs(path, exist_ok=True)
+        save_arrays(os.path.join(path, WEIGHTS_NPZ), self.state_arrays())
+        payload = {
+            "family": self.family,
+            "spec": self.spec,
+            "metadata": self.metadata,
+        }
+        write_json(os.path.join(path, MODEL_JSON), payload)
+        return path
+
+
+def write_json(path: str, payload: dict) -> None:
+    """Atomic JSON write (tmp + rename), matching the npz convention."""
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+def read_json(path: str) -> dict:
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def load_model(path: str) -> PerformanceModel:
+    """Load any artifact directory written by :meth:`PerformanceModel.save`.
+
+    The family recorded in ``model.json`` selects the adapter class via
+    :mod:`repro.models.registry`; the spec rebuilds it and the weight
+    arrays restore its fitted state.
+    """
+    from repro.ml.serialize import load_arrays
+    from repro.models.registry import create
+
+    payload = read_json(os.path.join(path, MODEL_JSON))
+    model = create(payload["family"], **payload["spec"])
+    model.restore(
+        load_arrays(os.path.join(path, WEIGHTS_NPZ)), payload["metadata"]
+    )
+    return model

@@ -1,0 +1,56 @@
+"""Model registry: family name -> adapter factory.
+
+Experiments, the :class:`repro.api.Session` facade and the CLI construct
+models through :func:`create` instead of hard-coding imports, so a new
+family only needs a ``@register`` decoration to appear everywhere —
+``repro models list``, ``repro train --model <family>``, artifact
+loading, the round-trip test matrix.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Type
+
+from repro.models.base import PerformanceModel
+
+_REGISTRY: dict[str, Type[PerformanceModel]] = {}
+
+
+def register(cls: Type[PerformanceModel]) -> Type[PerformanceModel]:
+    """Class decorator: register ``cls`` under its ``family`` name."""
+    if not cls.family:
+        raise ValueError(f"{cls.__name__} must set a non-empty `family`")
+    if cls.family in _REGISTRY:
+        raise ValueError(f"model family {cls.family!r} already registered")
+    _REGISTRY[cls.family] = cls
+    return cls
+
+
+def available() -> list[str]:
+    """Registered family names, sorted."""
+    _ensure_adapters()
+    return sorted(_REGISTRY)
+
+
+def get_family(family: str) -> Type[PerformanceModel]:
+    """The adapter class for ``family``."""
+    _ensure_adapters()
+    if family not in _REGISTRY:
+        raise KeyError(
+            f"unknown model family {family!r}; known: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[family]
+
+
+def create(family: str, **spec) -> PerformanceModel:
+    """Construct an unfitted model of ``family`` from spec kwargs."""
+    return get_family(family)(**spec)
+
+
+def _ensure_adapters() -> None:
+    # The built-in adapters register on import; defer it so that
+    # base/registry stay import-cycle-free.
+    import repro.models.adapters  # noqa: F401
+
+
+Factory = Callable[..., PerformanceModel]

@@ -11,7 +11,7 @@ space exploration (paper Sec. VI-A trains an MLP from such parameters).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import asdict, dataclass, field, replace
 
 import numpy as np
 
@@ -204,6 +204,18 @@ class MicroarchConfig:
         return replace(self, name=new_name, l1d=l1d, l2=l2)
 
     # ------------------------------------------------------------------
+    # JSON round-trip (model artifacts store the configs they were
+    # trained against; see repro.models.store)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-serializable description; inverse of :func:`config_from_dict`."""
+        data = asdict(self)
+        data["core"]["kind"] = self.core.kind.value
+        data["branch"]["kind"] = self.branch.kind.value
+        data["memory"]["kind"] = self.memory.kind.value
+        return data
+
+    # ------------------------------------------------------------------
     # parameter-vector encoding for the microarchitecture representation
     # model (log scales for capacities, one-hots for categoricals)
     # ------------------------------------------------------------------
@@ -281,3 +293,25 @@ class MicroarchConfig:
         vec = np.asarray(values, dtype=np.float32)
         assert len(vec) == len(self.feature_names())
         return vec
+
+
+def config_from_dict(data: dict) -> MicroarchConfig:
+    """Rebuild a :class:`MicroarchConfig` from :meth:`MicroarchConfig.to_dict`."""
+    core = dict(data["core"])
+    core["kind"] = CoreKind(core["kind"])
+    for fu_name in ("int_alu", "int_mul", "int_div", "fp_add", "fp_mul", "fp_div"):
+        core[fu_name] = FUConfig(**core[fu_name])
+    branch = dict(data["branch"])
+    branch["kind"] = PredictorKind(branch["kind"])
+    memory = dict(data["memory"])
+    memory["kind"] = MemoryKind(memory["kind"])
+    return MicroarchConfig(
+        name=data["name"],
+        core=CoreConfig(**core),
+        branch=BranchPredictorConfig(**branch),
+        l1i=CacheConfig(**data["l1i"]),
+        l1d=CacheConfig(**data["l1d"]),
+        l2=CacheConfig(**data["l2"]),
+        memory=MemoryConfig(**memory),
+        l2_exclusive=data["l2_exclusive"],
+    )

@@ -1,0 +1,103 @@
+"""Session facade: train/reuse, serve-from-store, evaluation parity."""
+
+import numpy as np
+import pytest
+
+from repro.api import Session, predicted_times_row
+from repro.models import StoreError
+
+SPEC = dict(arch="lstm-1-8", chunk_len=16, batch_size=8, epochs=1)
+BENCHMARKS = ("999.specrand", "505.mcf")
+
+
+@pytest.fixture()
+def session(tmp_path):
+    return Session(scale="smoke", cache_dir=str(tmp_path))
+
+
+def _train(session, **overrides):
+    kwargs = {**SPEC, **overrides}
+    return session.train(benchmarks=BENCHMARKS, **kwargs)
+
+
+def test_train_then_reuse(session):
+    first = _train(session)
+    assert not first.reused
+    assert first.errors  # evaluated on the train split by default
+    again = _train(session)
+    assert again.reused
+    assert again.artifact_id == first.artifact_id
+
+
+def test_retrain_flag_bypasses_store(session):
+    first = _train(session)
+    forced = _train(session, reuse=False)
+    # deterministic training -> identical weights -> same content address
+    assert forced.artifact_id == first.artifact_id
+    assert not forced.reused
+
+
+def test_predict_serves_from_store(session):
+    trained = _train(session)
+    times = session.predict("999.specrand")
+    assert set(times) == set(trained.model.config_names)
+    one = session.predict(
+        "999.specrand", config=trained.model.config_names[0]
+    )
+    assert one == pytest.approx(times[trained.model.config_names[0]])
+    assert "=" in predicted_times_row(times)
+
+
+def test_predict_without_artifact_refuses(session):
+    with pytest.raises(StoreError, match="run Session.train"):
+        session.predict("999.specrand")
+
+
+def test_predict_matches_evaluate_numbers(session, tmp_path):
+    trained = _train(session)
+    # a brand-new session (fresh process analogue) must reproduce the
+    # in-process evaluation numbers exactly from the stored artifact
+    fresh = Session(scale="smoke", cache_dir=str(tmp_path))
+    errors = fresh.evaluate(BENCHMARKS)
+    for name, summary in trained.errors.items():
+        assert errors[name] == summary
+
+
+def test_train_baseline_family(session):
+    result = session.train(
+        family="actboost", benchmarks=BENCHMARKS, n_estimators=5
+    )
+    assert result.artifact_id.startswith("actboost-")
+    assert "999.specrand" in result.errors
+    reloaded = session.model(family="actboost")
+    preds = reloaded.predict(session.dataset(BENCHMARKS))
+    assert np.isfinite(preds["999.specrand"]).all()
+
+
+def test_models_listing(session):
+    assert session.models() == []
+    _train(session)
+    manifests = session.models()
+    assert len(manifests) == 1
+    assert manifests[0]["family"] == "perfvec"
+    assert manifests[0]["train_config"]["scale"] == "smoke"
+
+
+def test_non_serving_family_predict_raises(session):
+    session.train(family="actboost", benchmarks=BENCHMARKS, n_estimators=5)
+    with pytest.raises(TypeError, match="serving"):
+        session.predict("999.specrand", family="actboost")
+
+
+def test_unknown_family_fails_early(session):
+    with pytest.raises(KeyError, match="unknown model family"):
+        session.model(family="quantum")
+
+
+def test_no_cross_scale_artifact_fallback(session, tmp_path):
+    _train(session)  # stores a smoke-scale artifact
+    other = Session(scale="bench", cache_dir=str(tmp_path))
+    # same family, wrong scale: must refuse rather than serve mislabeled
+    # predictions (scales sample different uarchs under the same names)
+    with pytest.raises(StoreError, match="scale 'bench'"):
+        other.model()

@@ -56,3 +56,60 @@ def test_bench_suite_parallel(capsys):
 def test_requires_subcommand():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_train_predict_models_cycle(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    # --cache-dir exports REPRO_CACHE_DIR; register it for restoration
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    cache = str(tmp_path / "cache")
+    args = ["--scale", "smoke", "--jobs", "1", "--cache-dir", cache]
+
+    assert main(["train", "--benchmarks", "999.specrand,505.mcf", *args]) == 0
+    out = capsys.readouterr().out
+    assert "artifact: perfvec-" in out and "(trained)" in out
+    assert "999.specrand" in out  # per-benchmark error summary
+
+    # a second train run must reuse the stored artifact
+    assert main(["train", "--benchmarks", "999.specrand,505.mcf", *args]) == 0
+    assert "(reused from store)" in capsys.readouterr().out
+
+    assert main(["predict", "999.specrand", "--evaluate", *args]) == 0
+    out = capsys.readouterr().out
+    assert "999.specrand:" in out and "mean=" in out
+
+    assert main(["models", "list", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "perfvec-" in out and "scale=smoke" in out
+
+
+def test_predict_without_artifact_fails(tmp_path, monkeypatch):
+    from repro.models import StoreError
+
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    with pytest.raises(StoreError, match="repro train"):
+        main(["predict", "999.specrand", "--scale", "smoke", "--jobs", "1",
+              "--cache-dir", str(tmp_path / "empty")])
+
+
+def test_models_list_empty(capsys, tmp_path, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main(["models", "list", "--cache-dir", str(tmp_path / "none")]) == 0
+    assert "no stored models" in capsys.readouterr().out
+
+
+def test_cache_dir_flag_redirects_all_caches(capsys, tmp_path, monkeypatch):
+    import os
+
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    cache = tmp_path / "redirected"
+    assert main(["train", "--scale", "smoke", "--jobs", "1",
+                 "--benchmarks", "999.specrand",
+                 "--cache-dir", str(cache)]) == 0
+    capsys.readouterr()
+    assert (cache / "datasets").is_dir()
+    assert (cache / "models").is_dir()
+    assert not (tmp_path / ".repro_cache").exists()
+    assert os.environ["REPRO_CACHE_DIR"] == str(cache)

@@ -100,3 +100,34 @@ def test_benchmark_dataset_cached_in_memory():
     a = benchmark_dataset(cfg, ("999.specrand",))
     b = benchmark_dataset(cfg, ("999.specrand",))
     assert a is b
+
+
+def test_trained_model_reuses_store_across_processes(tmp_path, monkeypatch):
+    """clear_caches() simulates a fresh process: the second call must load
+    the stored artifact instead of retraining."""
+    import repro.models.adapters as adapters
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    calls = {"train": 0}
+    real_train = adapters.train_foundation
+
+    def counting_train(dataset, config):
+        calls["train"] += 1
+        return real_train(dataset, config)
+
+    monkeypatch.setattr(adapters, "train_foundation", counting_train)
+    clear_caches()
+    cfg = get_scale("smoke")
+    m1, h1 = trained_model(cfg, TRAIN_BENCHMARKS[:3])
+    assert calls["train"] == 1
+
+    clear_caches()  # drop every in-process memo, keep the disk store
+    m2, h2 = trained_model(cfg, TRAIN_BENCHMARKS[:3])
+    assert calls["train"] == 1  # loaded, not retrained
+    assert m2 is not m1  # genuinely reconstructed from disk
+    state1, state2 = m1.state_dict(), m2.state_dict()
+    assert set(state1) == set(state2)
+    for key in state1:
+        assert np.array_equal(state1[key], state2[key]), key
+    assert h2.best_val_loss == h1.best_val_loss
+    clear_caches()

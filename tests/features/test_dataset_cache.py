@@ -113,3 +113,27 @@ def test_build_benchmark_arrays_parallel(tmp_path):
     )
     np.testing.assert_array_equal(serial[0], parallel[0])
     np.testing.assert_array_equal(serial[1], parallel[1])
+
+
+def test_repro_cache_dir_env_sets_default(tmp_path, monkeypatch):
+    """With REPRO_CACHE_DIR set, the default cache_dir lands there."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "redirected"))
+    build_dataset(["999.specrand"], _configs(), 300)
+    entries = os.listdir(tmp_path / "redirected" / "datasets")
+    assert any(entry.endswith(".npz") for entry in entries)
+
+
+def test_explicit_cache_dir_beats_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+    explicit = tmp_path / "explicit"
+    build_dataset(["999.specrand"], _configs(), 300, cache_dir=str(explicit))
+    assert explicit.is_dir()
+    assert not (tmp_path / "env").exists()
+
+
+def test_fingerprint_deterministic_and_content_sensitive(tmp_path):
+    a = build_dataset(["999.specrand"], _configs(), 300, cache_dir=None)
+    b = build_dataset(["999.specrand"], _configs(), 300, cache_dir=None)
+    c = build_dataset(["999.specrand"], _configs(), 400, cache_dir=None)
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != c.fingerprint()

@@ -1,0 +1,18 @@
+"""Shared fixtures: one small dataset + configs for the model-family tests."""
+
+import pytest
+
+from repro.features.dataset import build_dataset
+from repro.uarch import sample_configs
+
+BENCHMARKS = ["999.specrand", "505.mcf"]
+
+
+@pytest.fixture(scope="session")
+def tiny_configs():
+    return sample_configs(n_ooo=2, n_inorder=1, seed=0, include_presets=False)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_configs):
+    return build_dataset(BENCHMARKS, tiny_configs, 600, cache_dir=None)

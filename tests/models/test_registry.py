@@ -1,0 +1,46 @@
+"""Registry: lookup, creation, registration errors."""
+
+import pytest
+
+from repro.models import available, create, get_family
+from repro.models.base import PerformanceModel
+from repro.models.registry import register
+
+
+def test_available_is_sorted_and_complete():
+    families = available()
+    assert families == sorted(families)
+    assert "perfvec" in families and len(families) == 6
+
+
+def test_create_unknown_family_raises():
+    with pytest.raises(KeyError, match="unknown model family"):
+        create("quantum")
+
+
+def test_get_family_returns_class():
+    cls = get_family("perfvec")
+    assert issubclass(cls, PerformanceModel)
+    assert cls.family == "perfvec"
+
+
+def test_register_requires_family_name():
+    class Nameless(PerformanceModel):  # pragma: no cover - never instantiated
+        spec = {}
+        config_names = ()
+        is_fitted = False
+
+        def fit(self, dataset, configs=None): ...
+        def predict(self, dataset): ...
+        def state_arrays(self): ...
+        def restore(self, arrays, metadata): ...
+
+    with pytest.raises(ValueError, match="non-empty"):
+        register(Nameless)
+
+
+def test_register_rejects_duplicates():
+    from repro.models import PerfVecModel
+
+    with pytest.raises(ValueError, match="already registered"):
+        register(PerfVecModel)

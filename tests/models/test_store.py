@@ -1,0 +1,134 @@
+"""ModelStore: content addressing, provenance checks, integrity."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.ml.serialize import load_arrays, save_arrays
+from repro.models import FingerprintMismatch, ModelStore, StoreError, create
+from repro.models.store import WEIGHTS_NPZ
+
+@pytest.fixture()
+def store(tmp_path):
+    return ModelStore(root=str(tmp_path / "store"))
+
+
+@pytest.fixture(scope="module")
+def fitted(tiny_dataset, tiny_configs):
+    model = create("actboost", n_estimators=5)
+    return model.fit(tiny_dataset, configs=tiny_configs)
+
+
+def test_put_is_idempotent_and_content_addressed(store, fitted, tiny_dataset):
+    fp = tiny_dataset.fingerprint()
+    a = store.put(fitted, dataset_fingerprint=fp, train_config={"x": 1})
+    b = store.put(fitted, dataset_fingerprint=fp, train_config={"x": 1})
+    assert a == b
+    assert a.startswith("actboost-")
+    # different provenance -> different artifact
+    c = store.put(fitted, dataset_fingerprint=fp, train_config={"x": 2})
+    assert c != a
+    assert len(store.list()) == 2
+
+
+def test_load_rejects_fingerprint_mismatch(store, fitted, tiny_dataset):
+    artifact = store.put(
+        fitted, dataset_fingerprint=tiny_dataset.fingerprint()
+    )
+    with pytest.raises(FingerprintMismatch):
+        store.load(artifact, expect_fingerprint="0000000000000000")
+    # without an expectation the artifact loads fine
+    assert store.load(artifact).is_fitted
+
+
+def test_load_detects_corrupt_weights(store, fitted, tiny_dataset):
+    artifact = store.put(
+        fitted, dataset_fingerprint=tiny_dataset.fingerprint()
+    )
+    weights_path = os.path.join(store.path(artifact), WEIGHTS_NPZ)
+    arrays = load_arrays(weights_path)
+    key = sorted(arrays)[0]
+    arrays[key] = arrays[key] + 1.0
+    save_arrays(weights_path, arrays)
+    with pytest.raises(StoreError, match="corrupt"):
+        store.load(artifact)
+
+
+def test_missing_artifact_raises(store):
+    with pytest.raises(StoreError, match="no artifact"):
+        store.load("actboost-doesnotexist00")
+    with pytest.raises(StoreError):
+        store.delete("actboost-doesnotexist00")
+    assert not store.exists("actboost-doesnotexist00")
+
+
+def test_find_filters(store, fitted, tiny_dataset):
+    fp = tiny_dataset.fingerprint()
+    artifact = store.put(
+        fitted, dataset_fingerprint=fp, train_config={"scale": "smoke"},
+        tag="release",
+    )
+    assert store.find(family="actboost") == artifact
+    assert store.find(family="perfvec") is None
+    assert store.find(dataset_fingerprint=fp) == artifact
+    assert store.find(dataset_fingerprint="ffff") is None
+    assert store.find(train_config={"scale": "smoke"}) == artifact
+    assert store.find(train_config={"scale": "bench"}) is None
+    assert store.find(spec=fitted.spec) == artifact
+    assert store.find(tag="release") == artifact
+    assert store.find(tag="nightly") is None
+
+
+def test_delete_removes_artifact(store, fitted, tiny_dataset):
+    artifact = store.put(
+        fitted, dataset_fingerprint=tiny_dataset.fingerprint()
+    )
+    assert store.exists(artifact)
+    store.delete(artifact)
+    assert not store.exists(artifact)
+    assert store.list() == []
+
+
+def test_manifest_records_provenance(store, fitted, tiny_dataset):
+    fp = tiny_dataset.fingerprint()
+    artifact = store.put(
+        fitted, dataset_fingerprint=fp, train_config={"scale": "smoke"},
+        tag="t",
+    )
+    manifest = store.manifest(artifact)
+    assert manifest["id"] == artifact
+    assert manifest["family"] == "actboost"
+    assert manifest["dataset_fingerprint"] == fp
+    assert manifest["train_config"] == {"scale": "smoke"}
+    assert manifest["tag"] == "t"
+    assert manifest["spec"] == fitted.spec
+
+
+def test_empty_store_lists_nothing(store):
+    assert store.list() == []
+    assert store.find(family="perfvec") is None
+
+
+def test_dataset_fingerprint_sensitivity(tiny_dataset):
+    fp = tiny_dataset.fingerprint()
+    assert fp == tiny_dataset.fingerprint()  # deterministic
+    shifted = tiny_dataset.select_configs([0, 1])
+    assert shifted.fingerprint() != fp
+
+
+def test_save_arrays_atomic_leaves_no_tmp(tmp_path):
+    path = str(tmp_path / "weights.npz")
+    save_arrays(path, {"a": np.arange(4)})
+    assert os.listdir(tmp_path) == ["weights.npz"]
+    assert np.array_equal(load_arrays(path)["a"], np.arange(4))
+
+
+def test_reput_without_tag_preserves_existing_tag(store, fitted, tiny_dataset):
+    fp = tiny_dataset.fingerprint()
+    artifact = store.put(fitted, dataset_fingerprint=fp, tag="release")
+    assert store.put(fitted, dataset_fingerprint=fp) == artifact
+    assert store.manifest(artifact)["tag"] == "release"
+    # an explicit new tag still wins
+    store.put(fitted, dataset_fingerprint=fp, tag="nightly")
+    assert store.manifest(artifact)["tag"] == "nightly"
