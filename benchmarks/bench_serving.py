@@ -1,0 +1,159 @@
+"""Serving benchmark: single-request latency vs batched throughput.
+
+Measures the serving paths against the same stored model:
+
+* **singles** — ``Session.predict`` once per request (each call resolves
+  and loads the artifact, then runs a one-stream engine pass: the
+  pre-serving-layer cost model);
+* **batched** — one ``Session.predict_many`` over the identical request
+  list (one artifact load, one multi-stream no-grad engine pass).  The
+  request list is a realistic serving mix — each benchmark appears
+  ``--repeats`` times — so this speedup combines cross-request batching
+  *and* the coalescing of hot repeated benchmarks;
+* **distinct** — the same comparison over each benchmark exactly once,
+  isolating cross-request batching (no coalescing contribution);
+* **engine** — the no-grad fused forward vs the training-mode autograd
+  forward on the same inference batch, isolating the kernel win.
+
+Results are printed and written to ``BENCH_serving.json`` (under
+``results/`` by default).  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --scale smoke
+
+The acceptance bar for the serving refactor is ``batched.speedup >= 3``
+at smoke scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+
+def _time(fn, repeats: int = 1) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_serving(
+    scale: str = "smoke",
+    benchmarks: list[str] | None = None,
+    repeats: int = 4,
+    cache_dir: str | None = None,
+) -> dict:
+    from repro.api import Session
+    from repro.ml.autograd import Tensor
+    from repro.workloads import TEST_BENCHMARKS
+
+    session = Session(scale=scale, cache_dir=cache_dir)
+    trained = session.train()
+    benchmarks = benchmarks or list(TEST_BENCHMARKS)
+    request_list = benchmarks * repeats
+
+    # warm-up: fill the feature cache so both paths measure inference +
+    # model handling, not first-touch trace encoding
+    for name in benchmarks:
+        session.features(name)
+
+    t_singles = _time(
+        lambda: [session.predict(name) for name in request_list]
+    )
+    t_batched = _time(lambda: session.predict_many(request_list))
+
+    # batching alone: every benchmark exactly once, nothing to coalesce
+    t_singles_distinct = _time(
+        lambda: [session.predict(name) for name in benchmarks]
+    )
+    t_batched_distinct = _time(lambda: session.predict_many(benchmarks))
+
+    # engine microbenchmark: one inference batch, no-grad vs autograd
+    model = trained.model.perfvec
+    chunk_len = trained.model.chunk_len
+    feats = session.features(benchmarks[0])
+    full = (len(feats) // chunk_len) * chunk_len
+    batch = feats[:full].reshape(-1, chunk_len, feats.shape[1])
+    t_infer = _time(lambda: model.foundation.infer(batch), repeats=3)
+    t_train_fwd = _time(
+        lambda: model.foundation(Tensor(batch)), repeats=3
+    )
+
+    n = len(request_list)
+    report = {
+        "scale": scale,
+        "benchmarks": benchmarks,
+        "requests": n,
+        "singles": {
+            "seconds": t_singles,
+            "latency_ms": 1e3 * t_singles / n,
+            "throughput_rps": n / t_singles,
+        },
+        "batched": {
+            "seconds": t_batched,
+            "latency_ms": 1e3 * t_batched / n,
+            "throughput_rps": n / t_batched,
+            "speedup": t_singles / t_batched,
+        },
+        "distinct": {
+            "requests": len(benchmarks),
+            "singles_seconds": t_singles_distinct,
+            "batched_seconds": t_batched_distinct,
+            "speedup": t_singles_distinct / t_batched_distinct,
+        },
+        "engine": {
+            "batch_shape": list(batch.shape),
+            "infer_seconds": t_infer,
+            "train_forward_seconds": t_train_fwd,
+            "speedup": t_train_fwd / t_infer,
+        },
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", default=os.environ.get(
+        "REPRO_BENCH_SCALE", "smoke"))
+    parser.add_argument("--repeats", type=int, default=4,
+                        help="times each benchmark appears in the request list")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="JSON output (default: results/BENCH_serving.json)")
+    parser.add_argument("--cache-dir", default=None)
+    args = parser.parse_args(argv)
+
+    report = bench_serving(
+        scale=args.scale, repeats=args.repeats, cache_dir=args.cache_dir
+    )
+    singles = report["singles"]
+    batched = report["batched"]
+    engine = report["engine"]
+    print(f"# bench_serving scale={report['scale']} "
+          f"requests={report['requests']}")
+    print(f"singles: {singles['latency_ms']:8.2f} ms/req  "
+          f"{singles['throughput_rps']:8.1f} req/s")
+    print(f"batched: {batched['latency_ms']:8.2f} ms/req  "
+          f"{batched['throughput_rps']:8.1f} req/s  "
+          f"speedup={batched['speedup']:.2f}x")
+    distinct = report["distinct"]
+    print(f"distinct ({distinct['requests']} unique): "
+          f"batching-only speedup={distinct['speedup']:.2f}x")
+    print(f"engine:  infer {1e3 * engine['infer_seconds']:.2f} ms vs "
+          f"train-forward {1e3 * engine['train_forward_seconds']:.2f} ms  "
+          f"({engine['speedup']:.2f}x)")
+
+    output = args.output or os.path.join("results", "BENCH_serving.json")
+    os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
+    with open(output, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    print(f"saved: {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

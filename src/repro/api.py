@@ -7,6 +7,7 @@ features → store-backed models:
 >>> session = Session(scale="smoke")
 >>> result = session.train()                    # trains or reuses an artifact
 >>> session.predict("505.mcf")                  # {config name: predicted ticks}
+>>> session.predict_many(["505.mcf", "519.lbm"])  # one batched engine pass
 >>> session.evaluate(["505.mcf"])               # {benchmark: ErrorSummary}
 
 ``train`` consults the :class:`~repro.models.store.ModelStore` first: an
@@ -14,30 +15,41 @@ artifact with the same family, spec, training provenance and dataset
 fingerprint is loaded instead of retrained, so warm sessions — including
 **fresh processes** — skip straight to serving. ``predict`` never
 trains; it refuses with a clear error when no artifact exists.
+``predict_many`` is the batched serving path: every benchmark's cached
+feature stream rides one no-grad inference pass
+(:class:`repro.serving.PredictionService` builds on it for HTTP traffic).
 
-The CLI verbs ``repro train`` / ``repro predict`` / ``repro models
-list`` are thin wrappers over this class.
+The CLI verbs ``repro train`` / ``repro predict`` / ``repro serve`` /
+``repro models ...`` are thin wrappers over this class.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.cache import dataset_cache_dir, model_store_dir
-from repro.core.errors import ErrorSummary
+from repro.core.errors import ErrorSummary, UnknownBenchmarkError
 from repro.experiments.common import ScaleConfig, get_scale
 from repro.features.dataset import (
     DEFAULT_CACHE_DIR,
     TraceDataset,
     build_dataset,
 )
-from repro.features.encoder import encode_trace
-from repro.models import ModelStore, PerformanceModel, StoreError, create
+from repro.features.feature_cache import encoded_features, feature_cache_dir
+from repro.models import (
+    ModelStore,
+    PerformanceModel,
+    PredictRequest,
+    StoreError,
+    create,
+)
 from repro.models.registry import get_family
 from repro.models.store import training_provenance
 from repro.uarch import sample_configs
 from repro.uarch.config import MicroarchConfig
-from repro.workloads import TRAIN_BENCHMARKS, get_trace
+from repro.workloads import ALL_BENCHMARKS, BENCHMARKS, TRAIN_BENCHMARKS
 
 
 @dataclass(frozen=True)
@@ -66,6 +78,7 @@ class Session:
         self.store = store or ModelStore(model_store_dir(cache_dir))
         self._configs: list[MicroarchConfig] | None = None
         self._datasets: dict[tuple[str, ...], TraceDataset] = {}
+        self._features: dict[str, np.ndarray] = {}
 
     # -- shared ingredients ----------------------------------------------
     def configs(self) -> list[MicroarchConfig]:
@@ -157,10 +170,10 @@ class Session:
         return training_provenance(self.scale.name, family, benchmarks)
 
     # -- serving ----------------------------------------------------------
-    def model(
-        self, artifact: str | None = None, family: str = "perfvec"
-    ) -> PerformanceModel:
-        """Load a stored model — never trains.
+    def resolve_artifact(
+        self, family: str = "perfvec", artifact: str | None = None
+    ) -> str:
+        """The artifact id :meth:`model` would serve (without loading it).
 
         ``artifact`` pins an id; otherwise the newest artifact of
         ``family`` trained at this session's scale is used. There is no
@@ -170,7 +183,7 @@ class Session:
         pin ``artifact`` explicitly to do that on purpose.
         """
         if artifact is not None:
-            return self.store.load(artifact)
+            return artifact
         get_family(family)  # fail early on unknown families
         for manifest in self.store.list():
             if manifest["family"] != family:
@@ -179,12 +192,44 @@ class Session:
                 (manifest.get("train_config") or {}).get("scale")
                 == self.scale.name
             ):
-                return self.store.load(manifest["id"])
+                return manifest["id"]
         raise StoreError(
             f"no stored {family!r} artifact for scale "
             f"{self.scale.name!r} under {self.store.root}; "
             "run Session.train() (or `repro train`) first"
         )
+
+    def model(
+        self, artifact: str | None = None, family: str = "perfvec"
+    ) -> PerformanceModel:
+        """Load a stored model — never trains (see :meth:`resolve_artifact`)."""
+        return self.store.load(self.resolve_artifact(family, artifact))
+
+    def features(self, benchmark: str, memo: bool = True) -> np.ndarray:
+        """The benchmark's encoded feature stream at this session's scale.
+
+        Validated against the workload suite, then served from the
+        in-memory memo or the content-addressed on-disk feature cache —
+        repeated predictions never re-encode (let alone re-trace) a
+        benchmark.  The memo is unbounded (right for short-lived
+        sessions); callers with their own bounded cache — the serving
+        layer's feature LRU — pass ``memo=False`` so evicted streams
+        actually free memory.
+        """
+        if benchmark not in BENCHMARKS:
+            raise UnknownBenchmarkError(benchmark, ALL_BENCHMARKS)
+        stream = self._features.get(benchmark)
+        if stream is None:
+            stream = encoded_features(
+                benchmark, self.scale.instructions,
+                cache_dir=(
+                    feature_cache_dir(self.cache_dir)
+                    if self.cache_dir else "auto"
+                ),
+            )
+            if memo:
+                self._features[benchmark] = stream
+        return stream
 
     def predict(
         self,
@@ -195,11 +240,29 @@ class Session:
     ) -> dict[str, float] | float:
         """Predicted total execution time (0.1 ns ticks) for ``benchmark``.
 
-        Pure serving: the benchmark is traced and feature-encoded (no
-        simulation) and a stored model predicts every microarchitecture
-        it knows — or just ``config``. Only families with a
-        feature-stream serving path (``perfvec``) support this; others
-        need simulated inputs and go through :meth:`evaluate`.
+        Pure serving: the benchmark's cached feature stream (no
+        simulation) through a stored model, for every microarchitecture
+        it knows — or just ``config``.
+        """
+        times = self.predict_many(
+            [benchmark], artifact=artifact, family=family
+        )[benchmark]
+        if config is not None:
+            return times[config]
+        return times
+
+    def predict_many(
+        self,
+        benchmarks: tuple[str, ...] | list[str],
+        artifact: str | None = None,
+        family: str = "perfvec",
+    ) -> dict[str, dict[str, float]]:
+        """Batched serving: every benchmark through **one** engine pass.
+
+        Returns ``{benchmark: {config name: predicted ticks}}``. Only
+        families with a feature-stream serving path (``perfvec``)
+        support this; others need simulated inputs and go through
+        :meth:`evaluate`.
         """
         model = self.model(artifact, family)
         if not hasattr(model, "predict_features"):
@@ -208,13 +271,17 @@ class Session:
                 "path; use Session.evaluate() for simulation-based "
                 "comparisons"
             )
-        features = encode_trace(
-            get_trace(benchmark, self.scale.instructions)
-        )
-        times = model.predict_features(features)
-        if config is not None:
-            return float(times[model.config_names.index(config)])
-        return dict(zip(model.config_names, times.tolist()))
+        requests = [
+            PredictRequest(benchmark=name, features=self.features(name))
+            for name in benchmarks
+        ]
+        results = model.predict_batch(requests)
+        return {
+            request.benchmark: dict(
+                zip(model.config_names, result.tolist())
+            )
+            for request, result in zip(requests, results)
+        }
 
     def evaluate(
         self,

@@ -8,7 +8,10 @@ Subcommands::
     repro bench-suite --scale bench # trace + simulate the whole suite once
     repro train --scale smoke       # train (or reuse) a stored model
     repro predict 505.mcf --scale smoke   # serve predictions from the store
+    repro serve --scale smoke --port 8080 # HTTP/JSON prediction service
     repro models list               # stored artifacts
+    repro models show <id>          # one artifact's manifest
+    repro models rm <id>            # delete an artifact (store GC)
 
 Every runner subcommand takes ``--jobs N`` (default: all cores) to fan
 trace simulations — and, for ``run-all``, whole experiments — out across
@@ -144,10 +147,49 @@ def _cmd_predict(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serving import PredictionService, run_server
+
+    print(_resolved_header("serve", args.scale, 1))
+    service = PredictionService(
+        scale=args.scale,
+        model_cache=args.model_cache,
+        max_batch=args.max_batch,
+    )
+    print(f"listening on http://{args.host}:{args.port} "
+          f"(POST /v1/predict, GET /healthz, GET /v1/models)")
+    run_server(service, host=args.host, port=args.port)
+    return 0
+
+
 def _cmd_models(args) -> int:
-    from repro.models import ModelStore
+    import json
+
+    from repro.models import ModelStore, StoreError
 
     store = ModelStore()
+    if args.action == "show":
+        if not args.artifact:
+            print("usage: repro models show <artifact-id>")
+            return 2
+        try:
+            manifest = store.manifest(args.artifact)
+        except StoreError as exc:
+            print(f"error: {exc}")
+            return 1
+        print(json.dumps(manifest, indent=2, sort_keys=True))
+        return 0
+    if args.action == "rm":
+        if not args.artifact:
+            print("usage: repro models rm <artifact-id>")
+            return 2
+        try:
+            store.delete(args.artifact)
+        except StoreError as exc:
+            print(f"error: {exc}")
+            return 1
+        print(f"deleted {args.artifact} from {store.root}")
+        return 0
     manifests = store.list()
     if not manifests:
         print(f"no stored models under {store.root}")
@@ -266,8 +308,28 @@ def main(argv: list[str] | None = None) -> int:
     _add_jobs_flag(p_predict)
     _add_cache_dir_flag(p_predict)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the HTTP/JSON prediction service"
+    )
+    p_serve.add_argument("--scale", default="bench")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--model-cache", type=int, default=4, metavar="N",
+        help="deserialized models kept hot (LRU)",
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=64, metavar="N",
+        help="micro-batch size cap for queued requests",
+    )
+    _add_cache_dir_flag(p_serve)
+
     p_models = sub.add_parser("models", help="inspect the model store")
-    p_models.add_argument("action", choices=["list"])
+    p_models.add_argument("action", choices=["list", "show", "rm"])
+    p_models.add_argument(
+        "artifact", nargs="?", default=None,
+        help="artifact id (for show/rm)",
+    )
     _add_cache_dir_flag(p_models)
 
     args = parser.parse_args(argv)
@@ -281,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench-suite": _cmd_bench_suite,
         "train": _cmd_train,
         "predict": _cmd_predict,
+        "serve": _cmd_serve,
         "models": _cmd_models,
     }
     return handlers[args.command](args)

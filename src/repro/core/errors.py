@@ -1,10 +1,34 @@
-"""Prediction-error metrics used throughout the evaluation (Figs. 3-6)."""
+"""Prediction-error metrics (Figs. 3-6) and prediction-request errors."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
+
+
+class PredictionError(RuntimeError):
+    """A prediction/serving request that cannot be satisfied as posed."""
+
+
+class UnknownBenchmarkError(PredictionError, KeyError):
+    """The requested benchmark is not in the workload suite or dataset.
+
+    Subclasses :class:`KeyError` so callers that guarded the old bare
+    segment-lookup ``KeyError`` keep working.
+    """
+
+    def __init__(self, benchmark: str, known: Iterable[str] = ()):
+        self.benchmark = benchmark
+        self.known = tuple(known)
+        message = f"unknown benchmark {benchmark!r}"
+        if self.known:
+            message += f"; known: {list(self.known)}"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
 
 
 def abs_rel_error(predicted: np.ndarray, true: np.ndarray) -> np.ndarray:

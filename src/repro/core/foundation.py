@@ -75,6 +75,11 @@ class _PerPosition(Module):
         out = self.net(flat)
         return out.reshape(batch, time, self.dim), None
 
+    def infer(self, x: np.ndarray, state=None):
+        batch, time, feat = x.shape
+        out = self.net.infer(x.reshape(batch * time, feat))
+        return out.reshape(batch, time, self.dim), None
+
 
 class Foundation(Module):
     """Sequence core + (optional) projection to the representation space."""
@@ -129,6 +134,13 @@ class Foundation(Module):
         reps, new_state = self.core(x, state)
         if self.proj is not None:
             reps = self.proj(reps)
+        return reps, new_state
+
+    def infer(self, x: np.ndarray, state=None):
+        """No-grad :meth:`forward` on raw ndarrays (the serving path)."""
+        reps, new_state = self.core.infer(x, state)
+        if self.proj is not None:
+            reps = self.proj.infer(reps)
         return reps, new_state
 
 

@@ -8,15 +8,26 @@ III-B) gives the two inference modes:
 * *per-program*: ``T^j = (Σ_i R_i) · M_j`` — a program representation is
   the **sum** of its instruction representations, computed once and reused
   for every microarchitecture.
+
+Inference runs on the batched no-grad engine (:mod:`repro.ml.inference`):
+feature streams — any number of them at once — are cut into contiguous
+chunks, chunks from *all* streams are packed into dense batches, and the
+foundation's fused ``infer`` kernels process each batch without building an
+autograd graph.  "The representations of all instructions can be generated
+in parallel" (Sec. III-B) — here parallelism is the batch dimension of one
+BLAS call, shared across every queued request.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
 from repro.core.foundation import Foundation
 from repro.core.predictor import MicroarchTable, TICK_SCALE
-from repro.ml.autograd import Tensor, no_grad
+from repro.ml.autograd import Tensor
+from repro.ml.inference import iter_chunk_batches
 from repro.ml.layers import Module
 
 
@@ -37,6 +48,12 @@ class PerfVec(Module):
         preds = self.table(reps)
         return preds, reps, new_state
 
+    def infer(self, x: np.ndarray, state=None):
+        """No-grad :meth:`forward` on raw ndarrays: (preds, reps, state)."""
+        reps, new_state = self.foundation.infer(x, state)
+        preds = reps @ self.table.table.data.T
+        return preds, reps, new_state
+
     # -- inference ----------------------------------------------------------
     def instruction_representations(
         self, features: np.ndarray, chunk_len: int = 64, batch_size: int = 64
@@ -44,38 +61,54 @@ class PerfVec(Module):
         """Representations R_i for a feature stream ``[N, F]`` (inference).
 
         The stream is cut into contiguous chunks (fresh state per chunk,
-        mirroring training); chunks are batched for throughput.  The ragged
-        tail is processed as a final short chunk.  "The representations of
-        all instructions can be generated in parallel" (Sec. III-B) — here
-        parallelism is the batch dimension of one BLAS call.
+        mirroring training); chunks are batched through the fused no-grad
+        kernels for throughput, and the ragged tail rides as a final short
+        chunk.
         """
-        n, feat = features.shape
-        if n == 0:
-            raise ValueError("empty feature stream")
-        reps_out = np.empty((n, self.foundation.dim), dtype=np.float32)
-        full = (n // chunk_len) * chunk_len
-        with no_grad():
-            self.eval()
-            if full:
-                chunks = features[:full].reshape(-1, chunk_len, feat)
-                for start in range(0, len(chunks), batch_size):
-                    batch = chunks[start : start + batch_size]
-                    reps, _ = self.foundation(Tensor(batch))
-                    reps_out[
-                        start * chunk_len : (start + len(batch)) * chunk_len
-                    ] = reps.data.reshape(-1, self.foundation.dim)
-            if full < n:
-                tail = features[full:][None, :, :]
-                reps, _ = self.foundation(Tensor(tail))
-                reps_out[full:] = reps.data[0]
+        features = np.asarray(features, dtype=np.float32)
+        self.eval()
+        reps_out = np.empty(
+            (len(features), self.foundation.dim), dtype=np.float32
+        )
+        for places, batch in iter_chunk_batches(
+            [features], chunk_len, batch_size
+        ):
+            reps, _ = self.foundation.infer(batch)
+            for row, (_s, start, length) in enumerate(places):
+                reps_out[start : start + length] = reps[row]
         return reps_out
+
+    def program_representations(
+        self,
+        streams: Sequence[np.ndarray],
+        chunk_len: int = 64,
+        batch_size: int = 64,
+    ) -> np.ndarray:
+        """Program representations ``(len(streams), d)`` in one engine pass.
+
+        Chunks from every stream share inference batches, so a queue of
+        serving requests costs one fused forward per batch rather than one
+        per request.  Per-chunk representation sums are accumulated in
+        float64 without materializing per-instruction representations, so
+        arbitrarily long streams pass through bounded memory.
+        """
+        streams = [np.asarray(s, dtype=np.float32) for s in streams]
+        self.eval()
+        out = np.zeros((len(streams), self.foundation.dim), dtype=np.float64)
+        for places, batch in iter_chunk_batches(streams, chunk_len, batch_size):
+            reps, _ = self.foundation.infer(batch)
+            sums = reps.astype(np.float64).sum(axis=1)
+            for row, (s, _start, _length) in enumerate(places):
+                out[s] += sums[row]
+        return out
 
     def program_representation(
         self, features: np.ndarray, chunk_len: int = 64, batch_size: int = 64
     ) -> np.ndarray:
         """Program representation: the sum of instruction representations."""
-        reps = self.instruction_representations(features, chunk_len, batch_size)
-        return reps.astype(np.float64).sum(axis=0)
+        return self.program_representations(
+            [features], chunk_len, batch_size
+        )[0]
 
     # -- prediction ----------------------------------------------------------
     def predict_latencies(
@@ -104,5 +137,17 @@ class PerfVec(Module):
         self, features: np.ndarray, chunk_len: int = 64, batch_size: int = 64
     ) -> np.ndarray:
         """Total time (ticks) on every sampled microarchitecture at once."""
-        rep = self.program_representation(features, chunk_len, batch_size)
-        return (rep @ self.table.table.data.T.astype(np.float64)) / TICK_SCALE
+        return self.predict_many_program_times(
+            [features], chunk_len, batch_size
+        )[0]
+
+    def predict_many_program_times(
+        self,
+        streams: Sequence[np.ndarray],
+        chunk_len: int = 64,
+        batch_size: int = 64,
+    ) -> np.ndarray:
+        """Batched serving: total times ``(len(streams), k)`` for a whole
+        queue of feature streams through one engine pass."""
+        reps = self.program_representations(streams, chunk_len, batch_size)
+        return (reps @ self.table.table.data.T.astype(np.float64)) / TICK_SCALE

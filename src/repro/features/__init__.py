@@ -15,24 +15,39 @@ microarchitectures (the ablation in Sec. V-B shows error tripling without
 the memory/branch features).
 """
 
-from repro.features.stack_distance import stack_distances, stack_distances_where
-from repro.features.branch_entropy import branch_entropies
+from repro.features.stack_distance import (
+    MaskedStackDistanceStream,
+    StackDistanceStream,
+    stack_distances,
+    stack_distances_where,
+)
+from repro.features.branch_entropy import BranchEntropyStream, branch_entropies
 from repro.features.encoder import (
     FEATURE_NAMES,
     NUM_FEATURES,
     FeatureGroups,
+    StreamingTraceEncoder,
     encode_trace,
+    iter_encoded_chunks,
 )
+from repro.features.feature_cache import encoded_features, feature_cache_dir
 from repro.features.dataset import TraceDataset, build_dataset
 
 __all__ = [
     "stack_distances",
     "stack_distances_where",
+    "StackDistanceStream",
+    "MaskedStackDistanceStream",
     "branch_entropies",
+    "BranchEntropyStream",
     "FEATURE_NAMES",
     "NUM_FEATURES",
     "FeatureGroups",
+    "StreamingTraceEncoder",
     "encode_trace",
+    "iter_encoded_chunks",
+    "encoded_features",
+    "feature_cache_dir",
     "TraceDataset",
     "build_dataset",
 ]

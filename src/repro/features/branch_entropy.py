@@ -30,6 +30,57 @@ def _entropy(p: float) -> float:
     return -(p * math.log2(p) + q * math.log2(q))
 
 
+class BranchEntropyStream:
+    """Resumable (global, local) branch-entropy computation.
+
+    The EMA estimates (one global, one per branch pc) persist across
+    :meth:`push` calls, so feeding a trace chunk-by-chunk reproduces the
+    whole-trace result exactly — the streaming-encoder analogue of
+    :class:`repro.features.stack_distance.StackDistanceStream`.
+    """
+
+    __slots__ = ("alpha", "_p_global", "_h_global", "_p_local")
+
+    def __init__(self, alpha: float = DEFAULT_ALPHA):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._p_global = 0.5
+        self._h_global = 1.0
+        self._p_local: dict[int, float] = {}
+
+    def push(
+        self, opid: np.ndarray, pc: np.ndarray, branch_taken: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(global, local) entropy columns for the next trace chunk."""
+        n = len(opid)
+        g_col = np.zeros(n, dtype=np.float32)
+        l_col = np.zeros(n, dtype=np.float32)
+        cond_list = OP_IS_COND[opid].tolist()
+        takens = np.asarray(branch_taken).tolist()
+        pcs = np.asarray(pc).tolist()
+        alpha = self.alpha
+        p_global = self._p_global
+        h_global = self._h_global
+        p_local = self._p_local
+        for i in range(n):
+            if cond_list[i]:
+                pc_i = pcs[i]
+                pl = p_local.get(pc_i, 0.5)
+                g_col[i] = h_global
+                l_col[i] = _entropy(pl)
+                taken = 1.0 if takens[i] == 1 else 0.0
+                p_global += alpha * (taken - p_global)
+                h_global = _entropy(p_global)
+                p_local[pc_i] = pl + alpha * (taken - pl)
+            else:
+                g_col[i] = h_global
+                # l_col stays 0: not a branch
+        self._p_global = p_global
+        self._h_global = h_global
+        return g_col, l_col
+
+
 def branch_entropies(
     trace: Trace, alpha: float = DEFAULT_ALPHA
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -41,30 +92,6 @@ def branch_entropies(
     instruction executes in" (global) and "this branch's own history"
     (local).
     """
-    if not 0.0 < alpha <= 1.0:
-        raise ValueError("alpha must be in (0, 1]")
-    n = len(trace)
-    g_col = np.zeros(n, dtype=np.float32)
-    l_col = np.zeros(n, dtype=np.float32)
-    is_cond = OP_IS_COND[trace.opid]
-    takens = trace.branch_taken.tolist()
-    pcs = trace.pc.tolist()
-    cond_list = is_cond.tolist()
-
-    p_global = 0.5
-    h_global = 1.0
-    p_local: dict[int, float] = {}
-    for i in range(n):
-        if cond_list[i]:
-            pc = pcs[i]
-            pl = p_local.get(pc, 0.5)
-            g_col[i] = h_global
-            l_col[i] = _entropy(pl)
-            taken = 1.0 if takens[i] == 1 else 0.0
-            p_global += alpha * (taken - p_global)
-            h_global = _entropy(p_global)
-            p_local[pc] = pl + alpha * (taken - pl)
-        else:
-            g_col[i] = h_global
-            # l_col stays 0: not a branch
-    return g_col, l_col
+    return BranchEntropyStream(alpha).push(
+        trace.opid, trace.pc, trace.branch_taken
+    )

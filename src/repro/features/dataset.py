@@ -83,7 +83,9 @@ class TraceDataset:
         for seg_name, start, end in self.segments:
             if seg_name == name:
                 return self.features[start:end], self.targets[start:end]
-        raise KeyError(f"benchmark {name!r} not in dataset")
+        from repro.core.errors import UnknownBenchmarkError
+
+        raise UnknownBenchmarkError(name, self.benchmark_names)
 
     def select_configs(self, indices) -> "TraceDataset":
         """Dataset restricted to a subset of microarchitecture columns."""

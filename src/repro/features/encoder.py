@@ -21,11 +21,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.features.branch_entropy import branch_entropies
-from repro.features.stack_distance import stack_distances, stack_distances_where
+from repro.features.branch_entropy import BranchEntropyStream
+from repro.features.stack_distance import (
+    MaskedStackDistanceStream,
+    StackDistanceStream,
+)
 from repro.isa.opcodes import NUM_OPCODES, OPCODE_BY_ID, OpClass
 from repro.isa.registers import NUM_REGS, RegCategory, reg_category
-from repro.vm.trace import Trace
+from repro.vm.trace import OP_IS_LOAD, OP_IS_MEM, OP_IS_STORE, Trace
 
 #: Number of features per instruction (Table I).
 NUM_FEATURES = 51
@@ -122,41 +125,82 @@ def _log_scale_distances(dist: np.ndarray) -> np.ndarray:
     return out
 
 
+class StreamingTraceEncoder:
+    """Encode a trace chunk-by-chunk through bounded memory.
+
+    The per-row features (operation, registers, behaviour) are stateless;
+    the history-dependent ones (stack distances, branch entropies) carry
+    resumable stream state across chunks, so encoding a trace in any chunk
+    partition produces byte-identical features to a whole-trace pass —
+    :func:`encode_trace` itself is the single-chunk special case.
+    """
+
+    def __init__(self) -> None:
+        self._ifetch = StackDistanceStream()
+        self._data = MaskedStackDistanceStream()
+        self._loads = MaskedStackDistanceStream()
+        self._stores = MaskedStackDistanceStream()
+        self._entropy = BranchEntropyStream()
+
+    def encode_chunk(self, trace: Trace, start: int, end: int) -> np.ndarray:
+        """Features for trace rows ``[start, end)``; chunks must be fed in
+        order and without gaps."""
+        opid = trace.opid[start:end]
+        n = len(opid)
+        feats = np.zeros((n, NUM_FEATURES), dtype=np.float32)
+
+        # operation features (vectorized table lookup)
+        feats[:, 0:15] = _OP_TABLE[opid]
+
+        # register slots: index scaled by register count, category by max
+        src = trace.src_slots[start:end].astype(np.int64)
+        dst = trace.dst_slots[start:end].astype(np.int64)
+        feats[:, 15:31:2] = (src + 1).astype(np.float32) / float(NUM_REGS)
+        feats[:, 16:31:2] = _CAT_TABLE[src + 1]
+        feats[:, 31:43:2] = (dst + 1).astype(np.float32) / float(NUM_REGS)
+        feats[:, 32:43:2] = _CAT_TABLE[dst + 1]
+
+        # execution behaviour
+        taken = trace.branch_taken[start:end]
+        feats[:, 43] = trace.fault[start:end].astype(np.float32)
+        feats[:, 44] = (taken == 1).astype(np.float32)
+
+        # memory: stack distances at line granularity
+        ifetch_lines = trace.pc[start:end] >> LINE_BITS
+        feats[:, 45] = _log_scale_distances(self._ifetch.push(ifetch_lines))
+        data_lines = trace.mem_addr[start:end] >> LINE_BITS
+        feats[:, 46] = _log_scale_distances(
+            self._data.push(data_lines, OP_IS_MEM[opid])
+        )
+        feats[:, 47] = _log_scale_distances(
+            self._loads.push(data_lines, OP_IS_LOAD[opid])
+        )
+        feats[:, 48] = _log_scale_distances(
+            self._stores.push(data_lines, OP_IS_STORE[opid])
+        )
+
+        # branch predictability
+        g_col, l_col = self._entropy.push(opid, trace.pc[start:end], taken)
+        feats[:, 49] = g_col
+        feats[:, 50] = l_col
+        return feats
+
+
+def iter_encoded_chunks(trace: Trace, chunk_rows: int = 8192):
+    """Yield the ``[n, 51]`` feature matrix in ``chunk_rows``-row pieces.
+
+    Concatenating the chunks equals :func:`encode_trace` byte-for-byte;
+    peak memory is one chunk plus the O(distinct keys) stream state.
+    """
+    if chunk_rows < 1:
+        raise ValueError("chunk_rows must be positive")
+    encoder = StreamingTraceEncoder()
+    for start in range(0, len(trace), chunk_rows):
+        yield encoder.encode_chunk(
+            trace, start, min(start + chunk_rows, len(trace))
+        )
+
+
 def encode_trace(trace: Trace) -> np.ndarray:
     """Encode a trace into the ``[n, 51]`` float32 feature matrix."""
-    n = len(trace)
-    feats = np.zeros((n, NUM_FEATURES), dtype=np.float32)
-
-    # operation features (vectorized table lookup)
-    feats[:, 0:15] = _OP_TABLE[trace.opid]
-
-    # register slots: index scaled by register count, category scaled by max
-    src = trace.src_slots.astype(np.int64)
-    dst = trace.dst_slots.astype(np.int64)
-    feats[:, 15:31:2] = (src + 1).astype(np.float32) / float(NUM_REGS)
-    feats[:, 16:31:2] = _CAT_TABLE[src + 1]
-    feats[:, 31:43:2] = (dst + 1).astype(np.float32) / float(NUM_REGS)
-    feats[:, 32:43:2] = _CAT_TABLE[dst + 1]
-
-    # execution behaviour
-    feats[:, 43] = trace.fault.astype(np.float32)
-    feats[:, 44] = (trace.branch_taken == 1).astype(np.float32)
-
-    # memory: stack distances at line granularity
-    ifetch_lines = trace.pc >> LINE_BITS
-    feats[:, 45] = _log_scale_distances(stack_distances(ifetch_lines))
-    data_lines = trace.mem_addr >> LINE_BITS
-    is_mem = trace.is_mem
-    feats[:, 46] = _log_scale_distances(stack_distances_where(data_lines, is_mem))
-    feats[:, 47] = _log_scale_distances(
-        stack_distances_where(data_lines, trace.is_load)
-    )
-    feats[:, 48] = _log_scale_distances(
-        stack_distances_where(data_lines, trace.is_store)
-    )
-
-    # branch predictability
-    g_col, l_col = branch_entropies(trace)
-    feats[:, 49] = g_col
-    feats[:, 50] = l_col
-    return feats
+    return StreamingTraceEncoder().encode_chunk(trace, 0, len(trace))

@@ -47,6 +47,87 @@ class _Fenwick:
         return total
 
 
+class StackDistanceStream:
+    """Resumable stack-distance computation over appended key chunks.
+
+    Feeding one long key sequence through successive :meth:`push` calls
+    yields exactly the distances of a single whole-sequence pass — the
+    Fenwick tree and the last-occurrence map carry across chunks (the tree
+    doubles its capacity, re-marking the live positions, when a chunk runs
+    past it).  This is what lets :mod:`repro.features.encoder` stream long
+    traces through bounded memory.
+    """
+
+    __slots__ = ("_fen", "_last", "_pos")
+
+    def __init__(self, capacity: int = 1024):
+        self._fen = _Fenwick(max(capacity, 1))
+        self._last: dict[int, int] = {}
+        self._pos = 0
+
+    def _grow(self, minimum: int) -> None:
+        size = self._fen.size
+        while size < minimum:
+            size *= 2
+        fen = _Fenwick(size)
+        for pos in self._last.values():  # only most-recent positions are marked
+            fen.add(pos, 1)
+        self._fen = fen
+
+    def push(self, keys) -> np.ndarray:
+        """Distances for the next chunk of accesses (``COLD`` = first)."""
+        keys = np.asarray(keys)
+        n = len(keys)
+        out = np.empty(n, dtype=np.int64)
+        if n == 0:
+            return out
+        base = self._pos
+        if base + n > self._fen.size:
+            self._grow(base + n)
+        fen = self._fen
+        add = fen.add
+        prefix = fen.prefix
+        last = self._last
+        for off, k in enumerate(keys.tolist()):
+            i = base + off
+            j = last.get(k)
+            if j is None:
+                out[off] = COLD
+            else:
+                # marks strictly between j and i (positions j+1 .. i-1)
+                out[off] = prefix(i - 1) - prefix(j)
+                add(j, -1)
+            add(i, 1)
+            last[k] = i
+        self._pos = base + n
+        return out
+
+
+class MaskedStackDistanceStream:
+    """Stack distances over a masked subsequence, streamed in chunks.
+
+    Selected positions get ``COLD`` semantics, unselected ones ``-2``
+    ("not applicable") — the load-only and store-only distance columns of
+    Table I, resumable across trace chunks.
+    """
+
+    __slots__ = ("_inner",)
+
+    def __init__(self):
+        self._inner = StackDistanceStream()
+
+    def push(self, keys, mask) -> np.ndarray:
+        keys = np.asarray(keys)
+        mask = np.asarray(mask, dtype=bool)
+        if keys.shape != mask.shape:
+            raise ValueError("keys and mask must have equal length")
+        out = np.full(len(keys), -2, dtype=np.int64)
+        idx = np.flatnonzero(mask)
+        if len(idx):
+            out[idx] = self._inner.push(keys[idx])
+        return out
+
+
 def stack_distances(keys) -> np.ndarray:
     """Per-access stack distance of ``keys`` (any hashable ints).
 
@@ -55,41 +136,13 @@ def stack_distances(keys) -> np.ndarray:
     previous access to the same key (0 for back-to-back reuse).
     """
     keys = np.asarray(keys)
-    n = len(keys)
-    out = np.empty(n, dtype=np.int64)
-    if n == 0:
-        return out
-    fen = _Fenwick(n)
-    add = fen.add
-    prefix = fen.prefix
-    last: dict[int, int] = {}
-    key_list = keys.tolist()
-    for i, k in enumerate(key_list):
-        j = last.get(k)
-        if j is None:
-            out[i] = COLD
-        else:
-            # marks strictly between j and i (positions j+1 .. i-1)
-            out[i] = prefix(i - 1) - prefix(j)
-            add(j, -1)
-        add(i, 1)
-        last[k] = i
-    return out
+    return StackDistanceStream(capacity=len(keys)).push(keys)
 
 
 def stack_distances_where(keys, mask) -> np.ndarray:
     """Stack distances over the subsequence selected by ``mask``.
 
     Returns a full-length int64 array with ``COLD`` semantics on selected
-    positions and ``-2`` ("not applicable") elsewhere.  Used to compute the
-    load-only and store-only distance columns of Table I.
+    positions and ``-2`` ("not applicable") elsewhere.
     """
-    keys = np.asarray(keys)
-    mask = np.asarray(mask, dtype=bool)
-    if keys.shape != mask.shape:
-        raise ValueError("keys and mask must have equal length")
-    out = np.full(len(keys), -2, dtype=np.int64)
-    idx = np.flatnonzero(mask)
-    if len(idx):
-        out[idx] = stack_distances(keys[idx])
-    return out
+    return MaskedStackDistanceStream().push(keys, mask)

@@ -10,6 +10,12 @@ finite differences in the test suite.
 """
 
 from repro.ml.autograd import Tensor, concat, no_grad, stack
+from repro.ml.inference import (
+    gru_infer,
+    iter_chunk_batches,
+    lstm_infer,
+    stable_sigmoid,
+)
 from repro.ml.layers import (
     MLP,
     Dropout,
@@ -29,6 +35,7 @@ from repro.ml.serialize import load_state, save_state
 
 __all__ = [
     "Tensor", "concat", "no_grad", "stack",
+    "gru_infer", "iter_chunk_batches", "lstm_infer", "stable_sigmoid",
     "MLP", "Dropout", "LayerNorm", "Linear", "Module", "ReLU", "Sequential",
     "Tanh",
     "GRU", "LSTM",

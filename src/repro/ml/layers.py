@@ -7,7 +7,16 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.ml.autograd import Tensor
+from repro.ml.autograd import Tensor, no_grad
+
+
+def _unwrap(value):
+    """Tensor(s) -> ndarray(s), preserving tuple/list structure."""
+    if isinstance(value, Tensor):
+        return value.data
+    if isinstance(value, (tuple, list)):
+        return type(value)(_unwrap(v) for v in value)
+    return value
 
 
 class Module:
@@ -88,6 +97,33 @@ class Module:
     def forward(self, *args, **kwargs):  # pragma: no cover - abstract
         raise NotImplementedError
 
+    # -- inference ---------------------------------------------------------
+    def infer(self, *args, **kwargs):
+        """Inference-mode forward on raw ndarrays: no autograd graph.
+
+        The generic fallback wraps ndarray arguments in graph-free Tensors,
+        runs :meth:`forward` under ``no_grad()`` in eval mode and unwraps
+        the result.  Hot layers (Linear, MLP, LSTM, GRU) override this with
+        fused kernels from :mod:`repro.ml.inference`; both paths match the
+        training-mode forward numerically.
+        """
+        was_training = self.training
+        if was_training:
+            self.eval()
+        try:
+            with no_grad():
+                out = self.forward(
+                    *[
+                        Tensor(a) if isinstance(a, np.ndarray) else a
+                        for a in args
+                    ],
+                    **kwargs,
+                )
+        finally:
+            if was_training:
+                self.train()
+        return _unwrap(out)
+
 
 def _init_uniform(rng: np.random.Generator, shape, fan_in: int) -> np.ndarray:
     bound = 1.0 / math.sqrt(max(fan_in, 1))
@@ -124,15 +160,27 @@ class Linear(Module):
             out = out + self.bias
         return out
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out += self.bias.data
+        return out
+
 
 class ReLU(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.relu()
 
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return np.maximum(x, 0.0)
+
 
 class Tanh(Module):
     def forward(self, x: Tensor) -> Tensor:
         return x.tanh()
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return np.tanh(x)
 
 
 class Sequential(Module):
@@ -143,6 +191,11 @@ class Sequential(Module):
     def forward(self, x: Tensor) -> Tensor:
         for module in self.modules:
             x = module(x)
+        return x
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        for module in self.modules:
+            x = module.infer(x)
         return x
 
 
@@ -164,6 +217,9 @@ class MLP(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         return self.net(x)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return self.net.infer(x)
 
 
 class LayerNorm(Module):
@@ -199,3 +255,6 @@ class Dropout(Module):
         keep = 1.0 - self.p
         mask = (self.rng.random(x.shape) < keep).astype(np.float32) / keep
         return x * Tensor(mask)
+
+    def infer(self, x: np.ndarray) -> np.ndarray:
+        return x  # inference is always eval-mode: dropout is the identity

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.autograd import Tensor, concat, stack
+from repro.ml.inference import gru_infer, lstm_infer
 from repro.ml.layers import Linear, Module
 
 
@@ -136,6 +137,10 @@ class LSTM(Module):
         outputs = stack(steps, axis=1)
         return outputs, final_state
 
+    def infer(self, x, state=None):
+        """Fused no-grad forward (see :func:`repro.ml.inference.lstm_infer`)."""
+        return lstm_infer(self, x, state)
+
 
 class GRU(Module):
     """Multi-layer unidirectional GRU over (B, T, F) input."""
@@ -181,3 +186,7 @@ class GRU(Module):
             final_state.append(h.data.copy())
             steps = outs
         return stack(steps, axis=1), final_state
+
+    def infer(self, x, state=None):
+        """Fused no-grad forward (see :func:`repro.ml.inference.gru_infer`)."""
+        return gru_infer(self, x, state)

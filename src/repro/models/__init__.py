@@ -12,9 +12,11 @@
   store (``ModelStore``) with dataset-fingerprint provenance checks.
 """
 
+from repro.core.errors import PredictionError, UnknownBenchmarkError
 from repro.models.base import (
     NotFittedError,
     PerformanceModel,
+    PredictRequest,
     load_model,
 )
 from repro.models.registry import available, create, get_family, register
@@ -30,6 +32,9 @@ from repro.models.adapters import (
 
 __all__ = [
     "PerformanceModel",
+    "PredictRequest",
+    "PredictionError",
+    "UnknownBenchmarkError",
     "NotFittedError",
     "load_model",
     "register",

@@ -1,30 +1,24 @@
 """Thin :class:`~repro.models.base.PerformanceModel` adapters.
 
 One adapter per model family, wrapping the untouched low-level modules:
+``perfvec`` wraps :func:`repro.core.training.train_foundation` /
+:class:`repro.core.perfvec.PerfVec`; ``ithemal``, ``simnet``,
+``program_specific``, ``cross_program`` and ``actboost`` wrap their
+:mod:`repro.baselines` counterparts.
 
-==================  ====================================================
-family              wraps
-==================  ====================================================
-``perfvec``         :func:`repro.core.training.train_foundation` /
-                    :class:`repro.core.perfvec.PerfVec`
-``ithemal``         :class:`repro.baselines.ithemal.IthemalModel`
-``simnet``          :class:`repro.baselines.simnet.SimNetModel`
-``program_specific``:class:`repro.baselines.program_specific.ProgramSpecificMLP`
-``cross_program``   :class:`repro.baselines.cross_program.CrossProgramPredictor`
-``actboost``        :class:`repro.baselines.actboost.AdaBoostR2`
-==================  ====================================================
+Prediction is the shared batched path of the protocol: the base class
+turns a dataset into :class:`~repro.models.base.PredictRequest` items and
+each adapter implements one ``_predict_batch``; the ``spec`` dict is
+likewise generic (``spec_fields`` names the constructor arguments).
 
 Families that consume microarchitecture *parameters* (``simnet``,
 ``program_specific``, ``cross_program``, ``actboost``) need the
 :class:`~repro.uarch.config.MicroarchConfig` objects behind the dataset's
 columns at fit time (``configs=``) and snapshot whatever they need from
-them — parameter vectors, or the full config for SimNet's feature
-extraction — so stored artifacts predict without the objects.
-
-Trace-walking families (``ithemal``, ``simnet``) regenerate each
-benchmark's trace deterministically from its segment length (the
-functional VM always truncates at exactly the requested budget), which
-keeps traces out of the artifact.
+them, so stored artifacts predict without the objects.  Trace-walking
+families (``ithemal``, ``simnet``) regenerate each benchmark's trace
+deterministically from the request's trace length, keeping traces out of
+the artifact.
 """
 
 from __future__ import annotations
@@ -37,6 +31,7 @@ from repro.baselines.ithemal import IthemalModel, extract_basic_blocks
 from repro.baselines.program_specific import ProgramSpecificMLP
 from repro.baselines.simnet import SIMNET_FEATURES, SimNetModel, simnet_features
 from repro.baselines.trees import RegressionTree
+from repro.core.errors import PredictionError
 from repro.core.foundation import make_foundation
 from repro.core.perfvec import PerfVec
 from repro.core.predictor import MicroarchTable
@@ -44,7 +39,11 @@ from repro.core.training import FoundationTrainConfig, train_foundation
 from repro.features.dataset import TraceDataset
 from repro.ml.layers import MLP
 from repro.ml.trainer import TrainHistory
-from repro.models.base import PerformanceModel
+from repro.models.base import (
+    PerformanceModel,
+    PredictRequest,
+    coalesce_streams,
+)
 from repro.models.registry import register
 from repro.uarch.config import MicroarchConfig, config_from_dict
 from repro.workloads import get_trace
@@ -74,9 +73,9 @@ def _config_params(configs: list[MicroarchConfig]) -> np.ndarray:
     return np.stack([c.to_feature_vector() for c in configs]).astype(np.float64)
 
 
-def _segment_trace(dataset: TraceDataset, name: str, start: int, end: int,
-                   trace_seed: int | None):
-    return get_trace(name, end - start, seed=trace_seed)
+def _resolve_column(dataset: TraceDataset, config_name: str | None) -> int:
+    """Target column of a one-uarch family (first column by default)."""
+    return dataset.config_names.index(config_name) if config_name else 0
 
 
 def _prefixed(prefix: str, arrays: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
@@ -89,6 +88,22 @@ def _unprefixed(prefix: str, arrays: dict[str, np.ndarray]) -> dict[str, np.ndar
     }
 
 
+class _BaselineAdapter(PerformanceModel):
+    """Shared baseline plumbing: fitted state lives in ``_model`` and the
+    prediction columns in ``_config_names`` (overridable)."""
+
+    _model = None
+    _config_names: tuple[str, ...] = ()
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    @property
+    def config_names(self) -> tuple[str, ...]:
+        return self._config_names
+
+
 # ---------------------------------------------------------------------------
 # PerfVec
 # ---------------------------------------------------------------------------
@@ -97,6 +112,10 @@ class PerfVecModel(PerformanceModel):
     """The paper's model: foundation + microarchitecture table."""
 
     family = "perfvec"
+    spec_fields = (
+        "arch", "chunk_len", "batch_size", "epochs", "lr", "lr_step",
+        "lr_gamma", "seed",
+    )
 
     def __init__(self, arch: str = "lstm-2-256", chunk_len: int = 64,
                  batch_size: int = 16, epochs: int = 50, lr: float = 1e-3,
@@ -111,15 +130,6 @@ class PerfVecModel(PerformanceModel):
         self.seed = seed
         self.perfvec: PerfVec | None = None
         self.history: TrainHistory | None = None
-
-    @property
-    def spec(self) -> dict:
-        return {
-            "arch": self.arch, "chunk_len": self.chunk_len,
-            "batch_size": self.batch_size, "epochs": self.epochs,
-            "lr": self.lr, "lr_step": self.lr_step,
-            "lr_gamma": self.lr_gamma, "seed": self.seed,
-        }
 
     @property
     def metadata(self) -> dict:
@@ -154,20 +164,27 @@ class PerfVecModel(PerformanceModel):
         self.perfvec, self.history = train_foundation(dataset, config)
         return self
 
+    #: Engine batch size for serving (bigger than training's: inference
+    #: batches cost no gradient memory, so wider BLAS calls win).
+    infer_batch = 256
+
+    def _predict_batch(
+        self, requests: list[PredictRequest]
+    ) -> list[np.ndarray]:
+        # every unique stream rides one batched no-grad engine pass
+        streams, rows = coalesce_streams(requests)
+        times = self.perfvec.predict_many_program_times(
+            streams, chunk_len=self.chunk_len, batch_size=self.infer_batch
+        )
+        return [times[row] for row in rows]
+
     def predict_features(self, features: np.ndarray) -> np.ndarray:
         """Total time (ticks) on every known config from a ``[n, 51]``
         feature stream — no simulation involved (the serving path)."""
         self._require_fitted()
-        return self.perfvec.predict_program_times(
-            features, chunk_len=self.chunk_len
-        )
-
-    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
-        self._require_fitted()
-        return {
-            name: self.predict_features(dataset.features[start:end])
-            for name, start, end in dataset.segments
-        }
+        return self._predict_batch(
+            [PredictRequest(benchmark="<stream>", features=features)]
+        )[0]
 
     def state_arrays(self) -> dict[str, np.ndarray]:
         self._require_fitted()
@@ -189,10 +206,14 @@ class PerfVecModel(PerformanceModel):
 # Ithemal (basic-block LSTM, per microarchitecture)
 # ---------------------------------------------------------------------------
 @register
-class IthemalAdapter(PerformanceModel):
+class IthemalAdapter(_BaselineAdapter):
     """Basic-block walker; one model per microarchitecture."""
 
     family = "ithemal"
+    spec_fields = (
+        "config_name", "embed_dim", "hidden", "epochs", "batch_size", "lr",
+        "seed", "max_block_len", "trace_seed",
+    )
 
     def __init__(self, config_name: str | None = None, embed_dim: int = 8,
                  hidden: int = 16, epochs: int = 4, batch_size: int = 64,
@@ -211,16 +232,6 @@ class IthemalAdapter(PerformanceModel):
         self._resolved_config: str | None = None
 
     @property
-    def spec(self) -> dict:
-        return {
-            "config_name": self.config_name, "embed_dim": self.embed_dim,
-            "hidden": self.hidden, "epochs": self.epochs,
-            "batch_size": self.batch_size, "lr": self.lr, "seed": self.seed,
-            "max_block_len": self.max_block_len,
-            "trace_seed": self.trace_seed,
-        }
-
-    @property
     def metadata(self) -> dict:
         if self._model is None:
             return {}
@@ -233,41 +244,33 @@ class IthemalAdapter(PerformanceModel):
     def config_names(self) -> tuple[str, ...]:
         return (self._resolved_config,) if self._resolved_config else ()
 
-    @property
-    def is_fitted(self) -> bool:
-        return self._model is not None
-
-    def _blocks(self, dataset: TraceDataset, name: str, start: int, end: int,
-                latencies: np.ndarray):
-        trace = _segment_trace(dataset, name, start, end, self.trace_seed)
+    def _blocks(self, name: str, n_instructions: int, latencies: np.ndarray):
+        trace = get_trace(name, n_instructions, seed=self.trace_seed)
         return extract_basic_blocks(trace, latencies, self.max_block_len)
 
     def fit(self, dataset: TraceDataset,
             configs: list[MicroarchConfig] | None = None) -> "IthemalAdapter":
-        column = (
-            dataset.config_names.index(self.config_name)
-            if self.config_name else 0
-        )
+        column = _resolve_column(dataset, self.config_name)
         self._resolved_config = dataset.config_names[column]
         blocks = []
         for name, start, end in dataset.segments:
             latencies = dataset.targets[start:end, column].astype(np.float64)
-            blocks.extend(self._blocks(dataset, name, start, end, latencies))
+            blocks.extend(self._blocks(name, end - start, latencies))
         self._model = IthemalModel(
             embed_dim=self.embed_dim, hidden=self.hidden, seed=self.seed
         ).fit(blocks, epochs=self.epochs, batch_size=self.batch_size,
               lr=self.lr, seed=self.seed)
         return self
 
-    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
-        self._require_fitted()
-        out = {}
-        for name, start, end in dataset.segments:
+    def _predict_batch(
+        self, requests: list[PredictRequest]
+    ) -> list[np.ndarray]:
+        out = []
+        for request in requests:
+            n = request.require_length()
             # block structure depends only on the trace, not on latencies
-            blocks = self._blocks(
-                dataset, name, start, end, np.zeros(end - start)
-            )
-            out[name] = np.array([float(self._model.predict(blocks).sum())])
+            blocks = self._blocks(request.benchmark, n, np.zeros(n))
+            out.append(np.array([float(self._model.predict(blocks).sum())]))
         return out
 
     def state_arrays(self) -> dict[str, np.ndarray]:
@@ -288,10 +291,14 @@ class IthemalAdapter(PerformanceModel):
 # SimNet (per-instruction MLP over uarch-dependent features)
 # ---------------------------------------------------------------------------
 @register
-class SimNetAdapter(PerformanceModel):
+class SimNetAdapter(_BaselineAdapter):
     """Per-instruction walker over microarchitecture-dependent features."""
 
     family = "simnet"
+    spec_fields = (
+        "config_name", "hidden", "layers", "epochs", "batch_size", "lr",
+        "seed", "trace_seed",
+    )
 
     def __init__(self, config_name: str | None = None, hidden: int = 16,
                  layers: int = 2, epochs: int = 3, batch_size: int = 512,
@@ -309,15 +316,6 @@ class SimNetAdapter(PerformanceModel):
         self._config: MicroarchConfig | None = None
 
     @property
-    def spec(self) -> dict:
-        return {
-            "config_name": self.config_name, "hidden": self.hidden,
-            "layers": self.layers, "epochs": self.epochs,
-            "batch_size": self.batch_size, "lr": self.lr, "seed": self.seed,
-            "trace_seed": self.trace_seed,
-        }
-
-    @property
     def metadata(self) -> dict:
         if self._model is None:
             return {}
@@ -330,21 +328,14 @@ class SimNetAdapter(PerformanceModel):
     def config_names(self) -> tuple[str, ...]:
         return (self._config.name,) if self._config else ()
 
-    @property
-    def is_fitted(self) -> bool:
-        return self._model is not None
-
     def fit(self, dataset: TraceDataset,
             configs: list[MicroarchConfig] | None = None) -> "SimNetAdapter":
         configs = _require_configs(self.family, dataset, configs)
-        column = (
-            dataset.config_names.index(self.config_name)
-            if self.config_name else 0
-        )
+        column = _resolve_column(dataset, self.config_name)
         self._config = configs[column]
         features, latencies = [], []
         for name, start, end in dataset.segments:
-            trace = _segment_trace(dataset, name, start, end, self.trace_seed)
+            trace = get_trace(name, end - start, seed=self.trace_seed)
             features.append(simnet_features(trace, self._config))
             latencies.append(
                 dataset.targets[start:end, column].astype(np.float64)
@@ -355,13 +346,17 @@ class SimNetAdapter(PerformanceModel):
         ).fit(np.concatenate(features), np.concatenate(latencies))
         return self
 
-    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
-        self._require_fitted()
-        out = {}
-        for name, start, end in dataset.segments:
-            trace = _segment_trace(dataset, name, start, end, self.trace_seed)
+    def _predict_batch(
+        self, requests: list[PredictRequest]
+    ) -> list[np.ndarray]:
+        out = []
+        for request in requests:
+            trace = get_trace(
+                request.benchmark, request.require_length(),
+                seed=self.trace_seed,
+            )
             feats = simnet_features(trace, self._config)
-            out[name] = np.array([self._model.predict_total_time(feats)])
+            out.append(np.array([self._model.predict_total_time(feats)]))
         return out
 
     def state_arrays(self) -> dict[str, np.ndarray]:
@@ -381,14 +376,45 @@ class SimNetAdapter(PerformanceModel):
         self._config = config_from_dict(metadata["config"])
 
 
+class _SingleBenchmarkAdapter(_BaselineAdapter):
+    """Shared shape of the per-program parameter families.
+
+    These models are fitted to *one* benchmark's times over the sampled
+    microarchitectures; a prediction request is only answerable for that
+    benchmark, and the answer comes entirely from fitted state.
+    """
+
+    _resolved_benchmark: str | None = None
+
+    def dataset_requests(self, dataset: TraceDataset) -> list[PredictRequest]:
+        return [PredictRequest(benchmark=self._resolved_benchmark)]
+
+    def _predict_one(self) -> np.ndarray:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _predict_batch(
+        self, requests: list[PredictRequest]
+    ) -> list[np.ndarray]:
+        out = []
+        for request in requests:
+            if request.benchmark != self._resolved_benchmark:
+                raise PredictionError(
+                    f"{type(self).__name__} is fitted to benchmark "
+                    f"{self._resolved_benchmark!r}, not {request.benchmark!r}"
+                )
+            out.append(self._predict_one())
+        return out
+
+
 # ---------------------------------------------------------------------------
 # Program-specific MLP (Ipek-style, one model per program)
 # ---------------------------------------------------------------------------
 @register
-class ProgramSpecificAdapter(PerformanceModel):
+class ProgramSpecificAdapter(_SingleBenchmarkAdapter):
     """uarch parameters -> execution time, for one program."""
 
     family = "program_specific"
+    spec_fields = ("benchmark", "hidden", "layers", "epochs", "lr", "seed")
 
     def __init__(self, benchmark: str | None = None, hidden: int = 32,
                  layers: int = 2, epochs: int = 500, lr: float = 5e-3,
@@ -405,14 +431,6 @@ class ProgramSpecificAdapter(PerformanceModel):
         self._params: np.ndarray | None = None
 
     @property
-    def spec(self) -> dict:
-        return {
-            "benchmark": self.benchmark, "hidden": self.hidden,
-            "layers": self.layers, "epochs": self.epochs, "lr": self.lr,
-            "seed": self.seed,
-        }
-
-    @property
     def metadata(self) -> dict:
         if self._model is None:
             return {}
@@ -421,14 +439,6 @@ class ProgramSpecificAdapter(PerformanceModel):
             "config_names": list(self._config_names),
             "scale": self._model._scale,
         }
-
-    @property
-    def config_names(self) -> tuple[str, ...]:
-        return self._config_names
-
-    @property
-    def is_fitted(self) -> bool:
-        return self._model is not None
 
     def fit(self, dataset: TraceDataset,
             configs: list[MicroarchConfig] | None = None,
@@ -445,11 +455,8 @@ class ProgramSpecificAdapter(PerformanceModel):
         self._params = ProgramSpecificMLP.encode(configs)
         return self
 
-    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
-        self._require_fitted()
-        return {
-            self._resolved_benchmark: self._model.predict_params(self._params)
-        }
+    def _predict_one(self) -> np.ndarray:
+        return self._model.predict_params(self._params)
 
     def state_arrays(self) -> dict[str, np.ndarray]:
         self._require_fitted()
@@ -477,16 +484,17 @@ class ProgramSpecificAdapter(PerformanceModel):
 # Cross-program (Dubach-style transferable linear predictor)
 # ---------------------------------------------------------------------------
 @register
-class CrossProgramAdapter(PerformanceModel):
+class CrossProgramAdapter(_BaselineAdapter):
     """Shared ridge model over uarch parameters + program signatures.
 
     Per the baseline's semantics, prediction for a program uses its
-    *measured* times on the few signature configurations — so
-    :meth:`predict` reads those columns from the evaluation dataset's
+    *measured* times on the few signature configurations — so requests
+    carry ``signature_times``, read from the evaluation dataset's
     simulated ground truth (the signature runs are always simulations).
     """
 
     family = "cross_program"
+    spec_fields = ("n_signature", "ridge")
 
     def __init__(self, n_signature: int = 3, ridge: float = 1e-3):
         self.n_signature = n_signature
@@ -496,10 +504,6 @@ class CrossProgramAdapter(PerformanceModel):
         self._params: np.ndarray | None = None
 
     @property
-    def spec(self) -> dict:
-        return {"n_signature": self.n_signature, "ridge": self.ridge}
-
-    @property
     def metadata(self) -> dict:
         if self._model is None:
             return {}
@@ -507,14 +511,6 @@ class CrossProgramAdapter(PerformanceModel):
             "config_names": list(self._config_names),
             "signature_indices": self._model.signature_indices,
         }
-
-    @property
-    def config_names(self) -> tuple[str, ...]:
-        return self._config_names
-
-    @property
-    def is_fitted(self) -> bool:
-        return self._model is not None
 
     def fit(self, dataset: TraceDataset,
             configs: list[MicroarchConfig] | None = None,
@@ -527,14 +523,28 @@ class CrossProgramAdapter(PerformanceModel):
         self._params = _config_params(configs)
         return self
 
-    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
+    def dataset_requests(self, dataset: TraceDataset) -> list[PredictRequest]:
         self._require_fitted()
         indices = self._model.signature_indices
-        out = {}
-        for name, times in dataset.total_times().items():
-            signature_times = times[indices]
-            out[name] = self._model.predict_from_params(
-                self._params, signature_times
+        return [
+            PredictRequest(benchmark=name, signature_times=times[indices])
+            for name, times in dataset.total_times().items()
+        ]
+
+    def _predict_batch(
+        self, requests: list[PredictRequest]
+    ) -> list[np.ndarray]:
+        out = []
+        for request in requests:
+            if request.signature_times is None:
+                raise PredictionError(
+                    f"request for {request.benchmark!r} carries no "
+                    "signature-configuration times"
+                )
+            out.append(
+                self._model.predict_from_params(
+                    self._params, request.signature_times
+                )
             )
         return out
 
@@ -557,10 +567,11 @@ class CrossProgramAdapter(PerformanceModel):
 # ActBoost (AdaBoost.R2 over regression trees)
 # ---------------------------------------------------------------------------
 @register
-class ActBoostAdapter(PerformanceModel):
+class ActBoostAdapter(_SingleBenchmarkAdapter):
     """Boosted trees: uarch parameters -> execution time, per program."""
 
     family = "actboost"
+    spec_fields = ("benchmark", "n_estimators", "max_depth", "seed")
 
     def __init__(self, benchmark: str | None = None, n_estimators: int = 20,
                  max_depth: int = 3, seed: int = 0):
@@ -574,13 +585,6 @@ class ActBoostAdapter(PerformanceModel):
         self._params: np.ndarray | None = None
 
     @property
-    def spec(self) -> dict:
-        return {
-            "benchmark": self.benchmark, "n_estimators": self.n_estimators,
-            "max_depth": self.max_depth, "seed": self.seed,
-        }
-
-    @property
     def metadata(self) -> dict:
         if self._model is None:
             return {}
@@ -589,14 +593,6 @@ class ActBoostAdapter(PerformanceModel):
             "config_names": list(self._config_names),
             "n_trees": len(self._model.trees),
         }
-
-    @property
-    def config_names(self) -> tuple[str, ...]:
-        return self._config_names
-
-    @property
-    def is_fitted(self) -> bool:
-        return self._model is not None
 
     def fit(self, dataset: TraceDataset,
             configs: list[MicroarchConfig] | None = None,
@@ -613,11 +609,8 @@ class ActBoostAdapter(PerformanceModel):
         self._params = params
         return self
 
-    def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
-        self._require_fitted()
-        return {
-            self._resolved_benchmark: self._model.predict(self._params)
-        }
+    def _predict_one(self) -> np.ndarray:
+        return self._model.predict(self._params)
 
     def state_arrays(self) -> dict[str, np.ndarray]:
         self._require_fitted()

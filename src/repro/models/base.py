@@ -10,6 +10,11 @@ implements the same surface:
   dataset's columns).
 * ``predict(dataset)`` — per-benchmark predicted **total execution
   times** (0.1 ns ticks), one value per entry of :attr:`config_names`.
+  Implemented once, on the base class, over the batched
+  ``predict_batch(requests)`` path: the dataset is turned into
+  :class:`PredictRequest` items and every family answers the whole batch
+  at once (PerfVec runs all feature streams through one no-grad engine
+  pass; parameter families answer from their fitted state).
 * ``evaluate(dataset)`` — :class:`~repro.core.errors.ErrorSummary` per
   benchmark against the dataset's simulated ground truth.
 * ``save(path)`` / :func:`load_model` — artifact persistence: a
@@ -30,11 +35,12 @@ from __future__ import annotations
 import abc
 import json
 import os
-from typing import ClassVar
+from dataclasses import dataclass
+from typing import ClassVar, Sequence
 
 import numpy as np
 
-from repro.core.errors import ErrorSummary, error_summary
+from repro.core.errors import ErrorSummary, PredictionError, error_summary
 from repro.features.dataset import TraceDataset
 from repro.uarch.config import MicroarchConfig
 
@@ -48,17 +54,87 @@ class NotFittedError(RuntimeError):
     """Raised when predicting or saving with an unfitted model."""
 
 
+@dataclass(frozen=True)
+class PredictRequest:
+    """One unit of batched prediction work.
+
+    Families consume the fields they need and ignore the rest:
+
+    * ``features`` — the ``[n, 51]`` encoded stream (PerfVec's serving
+      input; :meth:`PerformanceModel.dataset_requests` fills it from the
+      dataset, the serving layer from the feature cache);
+    * ``n_instructions`` — trace length, for trace-walking families that
+      regenerate the benchmark's trace deterministically;
+    * ``signature_times`` — measured times on the signature
+      configurations (the cross-program baseline's extra input).
+    """
+
+    benchmark: str
+    features: np.ndarray | None = None
+    n_instructions: int | None = None
+    signature_times: np.ndarray | None = None
+
+    def require_features(self) -> np.ndarray:
+        if self.features is None:
+            raise PredictionError(
+                f"request for {self.benchmark!r} carries no feature stream"
+            )
+        return self.features
+
+    def require_length(self) -> int:
+        if self.n_instructions is None:
+            raise PredictionError(
+                f"request for {self.benchmark!r} carries no trace length"
+            )
+        return self.n_instructions
+
+
+def coalesce_streams(
+    requests: Sequence[PredictRequest],
+) -> tuple[list[np.ndarray], list[int]]:
+    """Unique feature streams + per-request row indices into them.
+
+    Deduplication is by object identity: the feature caches hand repeated
+    requests for one benchmark the same ndarray, so a hot benchmark
+    becomes one engine work item, not N.  Returns ``(streams, rows)``
+    with ``streams[rows[i]]`` being request ``i``'s stream.
+    """
+    streams: list[np.ndarray] = []
+    index_of: dict[int, int] = {}
+    rows = []
+    for request in requests:
+        features = request.require_features()
+        position = index_of.get(id(features))
+        if position is None:
+            position = len(streams)
+            index_of[id(features)] = position
+            streams.append(features)
+        rows.append(position)
+    return streams, rows
+
+
 class PerformanceModel(abc.ABC):
     """Uniform estimator protocol over all model families."""
 
     #: Registry key of the family (set by each adapter class).
     family: ClassVar[str] = ""
 
+    #: Constructor hyper-parameter names; drives the generic :attr:`spec`.
+    spec_fields: ClassVar[tuple[str, ...]] = ()
+
     # -- identity ---------------------------------------------------------
     @property
-    @abc.abstractmethod
     def spec(self) -> dict:
-        """Constructor hyper-parameters (JSON-serializable)."""
+        """Constructor hyper-parameters (JSON-serializable).
+
+        Built generically from :attr:`spec_fields` — every adapter stores
+        its constructor arguments as same-named attributes.
+        """
+        if not self.spec_fields:
+            raise NotImplementedError(
+                f"{type(self).__name__} must define spec_fields"
+            )
+        return {name: getattr(self, name) for name in self.spec_fields}
 
     @property
     def metadata(self) -> dict:
@@ -84,10 +160,57 @@ class PerformanceModel(abc.ABC):
     ) -> "PerformanceModel":
         """Train on ``dataset``; returns ``self`` for chaining."""
 
-    @abc.abstractmethod
+    def dataset_requests(self, dataset: TraceDataset) -> list[PredictRequest]:
+        """The :class:`PredictRequest` batch equivalent to ``dataset``.
+
+        The default covers every segment; families whose predictions are
+        bound to other inputs (a single fitted benchmark, signature
+        measurements) override this.
+        """
+        return [
+            PredictRequest(
+                benchmark=name,
+                features=dataset.features[start:end],
+                n_instructions=end - start,
+            )
+            for name, start, end in dataset.segments
+        ]
+
     def predict(self, dataset: TraceDataset) -> dict[str, np.ndarray]:
         """Per-benchmark predicted total times, aligned with
-        :attr:`config_names`."""
+        :attr:`config_names` (the batched path over the whole dataset)."""
+        requests = self.dataset_requests(dataset)
+        results = self.predict_batch(requests)
+        return {
+            request.benchmark: result
+            for request, result in zip(requests, results)
+        }
+
+    def predict_batch(
+        self, requests: Sequence[PredictRequest]
+    ) -> list[np.ndarray]:
+        """Answer a whole batch of requests at once.
+
+        Returns one ``(len(config_names),)`` prediction array per request,
+        in request order.  This is the single predict implementation every
+        family provides (``_predict_batch``); the serving layer calls it
+        directly so queued requests share batched inference.
+        """
+        self._require_fitted()
+        requests = list(requests)
+        results = self._predict_batch(requests)
+        if len(results) != len(requests):
+            raise PredictionError(
+                f"{type(self).__name__} returned {len(results)} results "
+                f"for {len(requests)} requests"
+            )
+        return results
+
+    @abc.abstractmethod
+    def _predict_batch(
+        self, requests: list[PredictRequest]
+    ) -> list[np.ndarray]:
+        """Family-specific batched prediction (fitted state guaranteed)."""
 
     def evaluate(self, dataset: TraceDataset) -> dict[str, ErrorSummary]:
         """Prediction-error summary per benchmark vs the dataset's truth."""

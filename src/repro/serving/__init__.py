@@ -1,0 +1,24 @@
+"""Model serving: batched prediction as a long-lived service.
+
+* :mod:`~repro.serving.service` — :class:`PredictionService`: hot models
+  and feature streams in LRU caches, a micro-batching request queue, and
+  batched no-grad inference underneath (every queued request shares one
+  engine pass per batch).
+* :mod:`~repro.serving.http` — a dependency-free HTTP/JSON endpoint over
+  the service (``repro serve``).
+"""
+
+from repro.serving.service import (
+    PredictionService,
+    ServeRequest,
+    ServeResult,
+)
+from repro.serving.http import make_server, run_server
+
+__all__ = [
+    "PredictionService",
+    "ServeRequest",
+    "ServeResult",
+    "make_server",
+    "run_server",
+]

@@ -1,0 +1,147 @@
+"""Stdlib-only HTTP/JSON frontend over :class:`PredictionService`.
+
+Endpoints::
+
+    GET  /healthz      -> {"status": "ok", "scale": ..., "models": N}
+    GET  /v1/models    -> {"models": [manifest, ...]}
+    POST /v1/predict   -> single:  {"benchmark": "505.mcf", ...}
+                          batched: {"requests": [{...}, {...}]}
+
+Each POSTed request accepts ``benchmark`` (required), ``family``,
+``artifact`` and ``config`` — the fields of
+:class:`~repro.serving.service.ServeRequest`.  Responses mirror
+``Session.predict``: ``{"times": {config name: predicted ticks}}`` per
+request, plus the artifact id that served it.
+
+The server threads per connection (``ThreadingHTTPServer``) and every
+request goes through the service's micro-batching queue, so concurrent
+clients share batched no-grad inference passes.
+
+Error mapping: bad JSON / unknown fields -> 400; unknown benchmark,
+family or artifact -> 404; everything else -> 500 with the exception
+text.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core.errors import PredictionError, UnknownBenchmarkError
+from repro.models import StoreError
+from repro.serving.service import PredictionService, ServeRequest
+
+#: Largest accepted request body (bytes) — predict payloads are tiny.
+MAX_BODY = 1 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1"
+
+    @property
+    def service(self) -> PredictionService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing ---------------------------------------------------------
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    # -- GET --------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path == "/healthz":
+            self._reply(200, {
+                "status": "ok",
+                "scale": self.service.session.scale.name,
+                "models": len(self.service.session.models()),
+            })
+        elif self.path == "/v1/models":
+            self._reply(200, {"models": self.service.session.models()})
+        else:
+            self._error(404, f"no such endpoint: {self.path}")
+
+    # -- POST -------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path != "/v1/predict":
+            self._error(404, f"no such endpoint: {self.path}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+            if length > MAX_BODY:
+                self._error(400, "request body too large")
+                return
+            payload = json.loads(self.rfile.read(length) or b"{}")
+            if "requests" in payload:
+                requests = [
+                    ServeRequest.from_dict(item)
+                    for item in payload["requests"]
+                ]
+                batched = True
+            else:
+                requests = [ServeRequest.from_dict(payload)]
+                batched = False
+        except (ValueError, TypeError) as exc:
+            self._error(400, f"bad request: {exc}")
+            return
+        try:
+            # the micro-batch queue coalesces concurrent client requests
+            futures = [self.service.submit(r) for r in requests]
+            results = [f.result() for f in futures]
+        except (UnknownBenchmarkError, StoreError, KeyError) as exc:
+            self._error(404, str(exc))
+            return
+        except (PredictionError, TypeError, ValueError) as exc:
+            self._error(400, str(exc))
+            return
+        except Exception as exc:  # pragma: no cover - defensive
+            self._error(500, f"{type(exc).__name__}: {exc}")
+            return
+        if batched:
+            self._reply(
+                200, {"results": [r.to_dict() for r in results]}
+            )
+        else:
+            self._reply(200, results[0].to_dict())
+
+
+def make_server(
+    service: PredictionService, host: str = "127.0.0.1", port: int = 0,
+    verbose: bool = False,
+) -> ThreadingHTTPServer:
+    """Build (and bind) the HTTP server; ``port=0`` picks a free port.
+
+    The caller runs ``serve_forever()`` (or spins it in a thread — the
+    round-trip test does) and ``shutdown()`` when done.
+    """
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.service = service  # type: ignore[attr-defined]
+    server.verbose = verbose  # type: ignore[attr-defined]
+    service.start()
+    return server
+
+
+def run_server(
+    service: PredictionService, host: str = "127.0.0.1", port: int = 8080,
+    verbose: bool = True,
+) -> None:
+    """Blocking serve loop (the ``repro serve`` entry point)."""
+    server = make_server(service, host, port, verbose=verbose)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()

@@ -1,0 +1,62 @@
+"""Session.predict_many and the unknown-benchmark bugfix."""
+
+import numpy as np
+import pytest
+
+from repro.api import Session
+from repro.core.errors import PredictionError, UnknownBenchmarkError
+
+SPEC = dict(arch="lstm-1-8", chunk_len=16, batch_size=8, epochs=1)
+BENCHMARKS = ("999.specrand", "505.mcf")
+
+
+@pytest.fixture()
+def session(tmp_path):
+    session = Session(scale="smoke", cache_dir=str(tmp_path))
+    session.train(benchmarks=BENCHMARKS, **SPEC)
+    return session
+
+
+def test_predict_many_matches_predict(session):
+    many = session.predict_many(BENCHMARKS)
+    assert set(many) == set(BENCHMARKS)
+    for name in BENCHMARKS:
+        assert many[name] == pytest.approx(session.predict(name), rel=1e-6)
+
+
+def test_predict_many_handles_repeats(session):
+    many = session.predict_many(["505.mcf", "505.mcf"])
+    assert set(many) == {"505.mcf"}
+    assert np.isfinite(list(many["505.mcf"].values())).all()
+
+
+def test_predict_unknown_benchmark_is_clear_error(session):
+    with pytest.raises(UnknownBenchmarkError, match="unknown benchmark"):
+        session.predict("123.nonesuch")
+    # the error names the known suite and stays a KeyError for old callers
+    try:
+        session.predict("123.nonesuch")
+    except UnknownBenchmarkError as error:
+        assert "505.mcf" in str(error)
+        assert isinstance(error, KeyError)
+        assert isinstance(error, PredictionError)
+
+
+def test_predict_many_unknown_benchmark(session):
+    with pytest.raises(UnknownBenchmarkError):
+        session.predict_many(["505.mcf", "123.nonesuch"])
+
+
+def test_dataset_segment_raises_unknown_benchmark(session):
+    dataset = session.dataset(BENCHMARKS)
+    with pytest.raises(UnknownBenchmarkError):
+        dataset.segment("519.lbm")
+    with pytest.raises(KeyError):  # back-compat contract
+        dataset.segment("519.lbm")
+
+
+def test_features_are_memoized_and_cached_on_disk(session, tmp_path):
+    first = session.features("505.mcf")
+    assert first is session.features("505.mcf")  # in-memory memo
+    fresh = Session(scale="smoke", cache_dir=session.cache_dir)
+    np.testing.assert_array_equal(first, fresh.features("505.mcf"))

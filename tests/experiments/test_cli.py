@@ -99,6 +99,35 @@ def test_models_list_empty(capsys, tmp_path, monkeypatch):
     assert "no stored models" in capsys.readouterr().out
 
 
+def test_models_show_and_rm(capsys, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    cache = str(tmp_path / "cache")
+    args = ["--scale", "smoke", "--jobs", "1", "--cache-dir", cache]
+    assert main(["train", "--benchmarks", "999.specrand", *args]) == 0
+    out = capsys.readouterr().out
+    artifact = next(
+        word for word in out.split() if word.startswith("perfvec-")
+    )
+
+    assert main(["models", "show", artifact, "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert f'"id": "{artifact}"' in out and '"dataset_fingerprint"' in out
+
+    assert main(["models", "rm", artifact, "--cache-dir", cache]) == 0
+    assert f"deleted {artifact}" in capsys.readouterr().out
+    assert main(["models", "list", "--cache-dir", cache]) == 0
+    assert "no stored models" in capsys.readouterr().out
+
+    # show/rm on a missing artifact fail with a clear message, not a trace
+    assert main(["models", "show", artifact, "--cache-dir", cache]) == 1
+    assert "error:" in capsys.readouterr().out
+    assert main(["models", "rm", artifact, "--cache-dir", cache]) == 1
+    assert "error:" in capsys.readouterr().out
+    # and the id is required
+    assert main(["models", "show", "--cache-dir", cache]) == 2
+
+
 def test_cache_dir_flag_redirects_all_caches(capsys, tmp_path, monkeypatch):
     import os
 

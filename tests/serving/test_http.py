@@ -1,0 +1,115 @@
+"""Serving round-trip: start the HTTP service, POST, compare to Session."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import Session
+from repro.serving import PredictionService, make_server
+
+SPEC = dict(arch="lstm-1-8", chunk_len=16, batch_size=8, epochs=1)
+BENCHMARKS = ("999.specrand", "505.mcf")
+
+
+@pytest.fixture(scope="module")
+def session(tmp_path_factory):
+    session = Session(
+        scale="smoke", cache_dir=str(tmp_path_factory.mktemp("http"))
+    )
+    session.train(benchmarks=BENCHMARKS, **SPEC)
+    return session
+
+
+@pytest.fixture(scope="module")
+def endpoint(session):
+    service = PredictionService(session=session)
+    server = make_server(service, port=0)  # ephemeral port
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{server.server_address[1]}"
+    server.shutdown()
+    server.server_close()
+    service.stop()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def test_healthz(endpoint):
+    status, body = _get(f"{endpoint}/healthz")
+    assert status == 200
+    assert body["status"] == "ok" and body["scale"] == "smoke"
+    assert body["models"] >= 1
+
+
+def test_models_listing(endpoint, session):
+    status, body = _get(f"{endpoint}/v1/models")
+    assert status == 200
+    assert [m["id"] for m in body["models"]] == [
+        m["id"] for m in session.models()
+    ]
+
+
+def test_predict_roundtrip_matches_session(endpoint, session):
+    status, body = _post(f"{endpoint}/v1/predict", {"benchmark": "505.mcf"})
+    assert status == 200
+    assert body["times"] == pytest.approx(session.predict("505.mcf"))
+    assert body["artifact"] == session.resolve_artifact()
+
+
+def test_batched_predict_roundtrip(endpoint, session):
+    status, body = _post(f"{endpoint}/v1/predict", {
+        "requests": [{"benchmark": name} for name in BENCHMARKS],
+    })
+    assert status == 200
+    expected = session.predict_many(BENCHMARKS)
+    assert len(body["results"]) == len(BENCHMARKS)
+    for result in body["results"]:
+        assert result["times"] == pytest.approx(
+            expected[result["benchmark"]], rel=1e-6
+        )
+
+
+def test_unknown_benchmark_is_404(endpoint):
+    status, body = _post(
+        f"{endpoint}/v1/predict", {"benchmark": "not.a.benchmark"}
+    )
+    assert status == 404
+    assert "unknown benchmark" in body["error"]
+
+
+def test_unknown_config_is_400(endpoint):
+    status, body = _post(
+        f"{endpoint}/v1/predict",
+        {"benchmark": "505.mcf", "config": "no-such-config"},
+    )
+    assert status == 400
+    assert "unknown config 'no-such-config'" in body["error"]
+
+
+def test_bad_payload_is_400(endpoint):
+    status, body = _post(f"{endpoint}/v1/predict", {"nope": 1})
+    assert status == 400
+    assert "benchmark" in body["error"]
+
+
+def test_unknown_endpoint_is_404(endpoint):
+    status, body = _post(f"{endpoint}/v1/nope", {"benchmark": "505.mcf"})
+    assert status == 404
