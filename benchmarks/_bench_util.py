@@ -1,9 +1,10 @@
 """Shared helpers for the benchmark harness.
 
 Each ``bench_*`` file regenerates one table or figure of the paper at the
-``bench`` scale (override with ``REPRO_BENCH_SCALE``).  Results are printed,
-saved as JSON under ``results/`` and appended to ``results/BENCH_REPORT.txt``
-so the regenerated rows survive pytest's output capture.
+``bench`` scale (override with ``REPRO_BENCH_SCALE``).  Results are
+printed, saved as JSON under the results dir (``REPRO_RESULTS_DIR`` /
+``<cache root>/results``) and appended to ``BENCH_REPORT.txt`` there, so
+the regenerated rows survive pytest's output capture.
 
 Experiments share in-process caches (trained foundations, simulated
 datasets), so the first benchmark of a session pays the training cost and
@@ -16,8 +17,9 @@ from __future__ import annotations
 
 import os
 
+from repro.cache import results_dir
 from repro.experiments import run_experiment
-from repro.experiments.common import RESULTS_DIR, ExperimentResult
+from repro.experiments.common import ExperimentResult
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "bench")
 JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))  # 0 = all cores
@@ -29,8 +31,9 @@ def run_and_record(name: str) -> ExperimentResult:
     text = result.render()
     print(text)
     result.save()
-    os.makedirs(RESULTS_DIR, exist_ok=True)
-    with open(os.path.join(RESULTS_DIR, "BENCH_REPORT.txt"), "a") as fh:
+    report_dir = results_dir()
+    os.makedirs(report_dir, exist_ok=True)
+    with open(os.path.join(report_dir, "BENCH_REPORT.txt"), "a") as fh:
         fh.write(text + "\n\n")
     return result
 

@@ -19,8 +19,13 @@ trains; it refuses with a clear error when no artifact exists.
 feature stream rides one no-grad inference pass
 (:class:`repro.serving.PredictionService` builds on it for HTTP traffic).
 
+``run_pipeline`` executes a declarative :mod:`repro.pipeline` spec (by
+name, object or file path) at the session's scale with per-stage
+artifact reuse.
+
 The CLI verbs ``repro train`` / ``repro predict`` / ``repro serve`` /
-``repro models ...`` are thin wrappers over this class.
+``repro pipeline ...`` / ``repro models ...`` are thin wrappers over
+this class.
 """
 
 from __future__ import annotations
@@ -292,6 +297,49 @@ class Session:
         """Stored-model prediction error vs simulated ground truth."""
         model = self.model(artifact, family)
         return model.evaluate(self.dataset(benchmarks))
+
+    # -- pipelines --------------------------------------------------------
+    def run_pipeline(
+        self,
+        spec,
+        save: bool = False,
+        force: bool = False,
+        results_dir: str | None = None,
+    ):
+        """Execute a pipeline spec at this session's scale.
+
+        ``spec`` is a registered spec name, an
+        :class:`~repro.pipeline.ExperimentSpec`, or a path to a
+        ``.toml``/``.json`` spec file.  Stages reuse their
+        content-addressed artifacts (under this session's cache root),
+        so repeating a pipeline re-executes only invalidated stages.
+        Returns a :class:`~repro.pipeline.PipelineResult`.
+        """
+        import os
+
+        from repro.pipeline import (
+            ExperimentSpec,
+            Runner,
+            SpecError,
+            get_spec,
+            load_spec,
+        )
+
+        if isinstance(spec, str):
+            if os.path.sep in spec or spec.endswith((".toml", ".json")):
+                spec = load_spec(spec)
+            else:
+                spec = get_spec(spec)
+        if not isinstance(spec, ExperimentSpec):  # a SweepSpec
+            raise SpecError(
+                f"spec {spec.name!r} declares a sweep grid; expand it with "
+                "repro.pipeline.run_sweep (or `repro pipeline sweep`), or "
+                "pass spec.base to run one scenario"
+            )
+        return Runner(
+            spec, scale=self.scale, cache_dir=self.cache_dir,
+            results_dir=results_dir, jobs=self.jobs, save=save, force=force,
+        ).run()
 
     # -- inspection -------------------------------------------------------
     def models(self) -> list[dict]:

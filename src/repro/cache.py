@@ -22,6 +22,9 @@ DEFAULT_CACHE_ROOT = ".repro_cache"
 #: Environment variable that overrides the default cache root.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable that overrides where result JSON files land.
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+
 
 def cache_root(override: str | None = None) -> str:
     """The cache root directory (not created here)."""
@@ -40,6 +43,27 @@ def model_store_dir(root: str | None = None) -> str:
     return os.path.join(cache_root(root), "models")
 
 
+def stage_store_dir(root: str | None = None) -> str:
+    """Where :mod:`repro.pipeline` keeps per-stage result artifacts."""
+    return os.path.join(cache_root(root), "stages")
+
+
+def results_dir(override: str | None = None, root: str | None = None) -> str:
+    """Where experiment/pipeline result JSON files land.
+
+    Resolution mirrors :func:`cache_root`: an explicit override (CLI
+    ``--results-dir``), then ``REPRO_RESULTS_DIR``, then ``results/``
+    under the cache root — so redirecting the cache relocates results
+    with every other artifact instead of littering the working directory.
+    """
+    if override:
+        return override
+    env = os.environ.get(RESULTS_DIR_ENV)
+    if env:
+        return env
+    return os.path.join(cache_root(root), "results")
+
+
 def set_cache_root(path: str | None) -> None:
     """Process-wide cache-root override (the CLI's ``--cache-dir``).
 
@@ -48,3 +72,13 @@ def set_cache_root(path: str | None) -> None:
     """
     if path:
         os.environ[CACHE_DIR_ENV] = path
+
+
+def set_results_dir(path: str | None) -> None:
+    """Process-wide results-dir override (the CLI's ``--results-dir``).
+
+    Exported as ``REPRO_RESULTS_DIR`` for the same worker-process reason
+    as :func:`set_cache_root`.
+    """
+    if path:
+        os.environ[RESULTS_DIR_ENV] = path

@@ -5,6 +5,9 @@ Subcommands::
     repro list                      # available experiments and scales
     repro run fig3_seen_unseen      # one experiment (default scale: bench)
     repro run-all --scale bench     # every experiment, saving JSON results
+    repro pipeline list             # registered pipeline specs + stages
+    repro pipeline run <spec>       # a spec by name or .toml/.json path
+    repro pipeline sweep <spec>     # expand a sweep grid, run every scenario
     repro bench-suite --scale bench # trace + simulate the whole suite once
     repro train --scale smoke       # train (or reuse) a stored model
     repro predict 505.mcf --scale smoke   # serve predictions from the store
@@ -14,10 +17,12 @@ Subcommands::
     repro models rm <id>            # delete an artifact (store GC)
 
 Every runner subcommand takes ``--jobs N`` (default: all cores) to fan
-trace simulations — and, for ``run-all``, whole experiments — out across
-worker processes via :mod:`repro.runtime`, and ``--cache-dir DIR`` to
-redirect every on-disk cache (datasets + model store; equivalent to
-setting ``REPRO_CACHE_DIR``).
+trace simulations — and, for ``run-all``/pipelines, whole
+experiments/stages — out across worker processes via
+:mod:`repro.runtime`, ``--cache-dir DIR`` to redirect every on-disk
+cache (datasets + models + stage artifacts; equivalent to setting
+``REPRO_CACHE_DIR``), and ``--results-dir DIR`` to redirect result JSON
+files (default: ``<cache root>/results``).
 """
 
 from __future__ import annotations
@@ -80,6 +85,68 @@ def _cmd_run_all(args) -> int:
     if failures:
         print(f"\nfailed experiments: {failures}")
         return 1
+    return 0
+
+
+def _resolve_pipeline_spec(name: str):
+    """A spec argument: a registered name, or a path to a .toml/.json file."""
+    import os
+
+    from repro.pipeline import get_spec, load_spec
+
+    if os.path.sep in name or name.endswith((".toml", ".json")):
+        return load_spec(name)
+    return get_spec(name)
+
+
+def _cmd_pipeline(args) -> int:
+    from repro.pipeline import (
+        ExperimentSpec,
+        Runner,
+        SweepSpec,
+        available_specs,
+    )
+
+    if args.action == "list":
+        print("pipeline specs:")
+        for name, spec in available_specs().items():
+            stages = " -> ".join(s.name for s in spec.stages)
+            print(f"  {name:<22s} {stages}")
+        return 0
+
+    if not args.spec:
+        print(f"usage: repro pipeline {args.action} <spec-name-or-file>")
+        return 2
+    spec = _resolve_pipeline_spec(args.spec)
+    base = spec.base if isinstance(spec, SweepSpec) else spec
+    print(_resolved_header(f"pipeline {args.action} {args.spec}",
+                           args.scale or base.scale or "bench", args.jobs))
+    common = dict(
+        scale=args.scale, jobs=args.jobs, results_dir=args.results_dir,
+        save=args.save, force=args.force,
+    )
+    if args.action == "sweep":
+        if isinstance(spec, ExperimentSpec):
+            print(f"error: spec {spec.name!r} declares no [sweep.matrix]; "
+                  "use `repro pipeline run` for single-scenario specs")
+            return 2
+        print(f"sweep {spec.name}: {len(spec)} scenario(s)")
+        total_executed = total_cached = 0
+        for scenario in spec.expand():
+            result = Runner(scenario, **common).run()
+            total_executed += result.executed
+            total_cached += result.cached
+            print(result.render())
+        print(f"sweep total: {total_executed} executed, "
+              f"{total_cached} cached")
+        return 0
+    if isinstance(spec, SweepSpec):
+        print(f"note: {spec.name!r} declares a sweep of {len(spec)} "
+              "scenario(s); running the base scenario only "
+              "(use `repro pipeline sweep` for the grid)")
+        spec = spec.base
+    result = Runner(spec, **common).run()
+    print(result.render())
     return 0
 
 
@@ -231,8 +298,16 @@ def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
 def _add_cache_dir_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
-        help="cache root for datasets + model store "
+        help="cache root for datasets + models + stage artifacts "
              "(default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+
+
+def _add_results_dir_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--results-dir", default=None, metavar="DIR",
+        help="where result JSON files land "
+             "(default: $REPRO_RESULTS_DIR or <cache root>/results)",
     )
 
 
@@ -256,11 +331,31 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--save", action="store_true")
     _add_jobs_flag(p_run)
     _add_cache_dir_flag(p_run)
+    _add_results_dir_flag(p_run)
 
     p_all = sub.add_parser("run-all", help="run every experiment")
     p_all.add_argument("--scale", default="bench")
     _add_jobs_flag(p_all)
     _add_cache_dir_flag(p_all)
+    _add_results_dir_flag(p_all)
+
+    p_pipe = sub.add_parser(
+        "pipeline", help="run declarative pipeline specs (see docs/API.md)"
+    )
+    p_pipe.add_argument("action", choices=["run", "sweep", "list"])
+    p_pipe.add_argument(
+        "spec", nargs="?", default=None,
+        help="registered spec name or path to a .toml/.json spec file",
+    )
+    p_pipe.add_argument("--scale", default=None,
+                        help="scale override (default: the spec's)")
+    p_pipe.add_argument("--save", action="store_true",
+                        help="write the report JSON to the results dir")
+    p_pipe.add_argument("--force", action="store_true",
+                        help="re-execute every stage, ignoring artifacts")
+    _add_jobs_flag(p_pipe)
+    _add_cache_dir_flag(p_pipe)
+    _add_results_dir_flag(p_pipe)
 
     p_suite = sub.add_parser("bench-suite", help="build the full suite dataset")
     p_suite.add_argument("--scale", default="bench")
@@ -333,13 +428,15 @@ def main(argv: list[str] | None = None) -> int:
     _add_cache_dir_flag(p_models)
 
     args = parser.parse_args(argv)
-    from repro.cache import set_cache_root
+    from repro.cache import set_cache_root, set_results_dir
 
     set_cache_root(getattr(args, "cache_dir", None))
+    set_results_dir(getattr(args, "results_dir", None))
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
         "run-all": _cmd_run_all,
+        "pipeline": _cmd_pipeline,
         "bench-suite": _cmd_bench_suite,
         "train": _cmd_train,
         "predict": _cmd_predict,

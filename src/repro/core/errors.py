@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import difflib
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -10,6 +11,36 @@ import numpy as np
 
 class PredictionError(RuntimeError):
     """A prediction/serving request that cannot be satisfied as posed."""
+
+
+class UnknownExperimentError(KeyError):
+    """A name lookup (experiment, spec, stage, scale, ...) that missed.
+
+    Subclasses :class:`KeyError` so callers that guarded the old bare
+    dict lookups keep working; the message names the nearest matches so
+    a typo in ``repro run``/``repro pipeline run`` is a one-glance fix.
+    """
+
+    def __init__(
+        self, name: str, known: Iterable[str] = (), kind: str = "experiment"
+    ):
+        self.name = name
+        self.kind = kind
+        self.known = tuple(known)
+        self.suggestions = tuple(
+            difflib.get_close_matches(name, self.known, n=3, cutoff=0.4)
+        )
+        message = f"unknown {kind} {name!r}"
+        if self.suggestions:
+            message += "; did you mean " + " or ".join(
+                repr(s) for s in self.suggestions
+            ) + "?"
+        if self.known:
+            message += f" (known: {', '.join(sorted(self.known))})"
+        super().__init__(message)
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0]
 
 
 class UnknownBenchmarkError(PredictionError, KeyError):

@@ -1,8 +1,12 @@
 """Experiment harness: one module per table/figure of the paper.
 
-Every experiment exposes ``run(scale) -> ExperimentResult`` and is
-registered in :mod:`~repro.experiments.registry`; ``python -m repro`` is
-the CLI front end (see ``README.md`` for the experiment/figure table).
+Every experiment is a declarative :mod:`repro.pipeline` spec (the
+module's ``SPEC``) plus a registered analysis function; ``run(scale) ->
+ExperimentResult`` is a thin shim that executes the spec through the
+pipeline runner with per-stage artifact reuse.  The modules are
+registered in :mod:`~repro.experiments.registry` (run callables) and
+:mod:`repro.pipeline.presets` (specs); ``python -m repro`` is the CLI
+front end (see ``README.md`` for the experiment/figure table).
 
 ==========================  =============================================
 module                      reproduces

@@ -1,4 +1,4 @@
-"""Shared experiment infrastructure: scales, model cache, rendering.
+"""Shared experiment data layer: scale presets and memoized ingredients.
 
 Scale presets trade fidelity for runtime:
 
@@ -13,26 +13,34 @@ persisted through :class:`repro.models.store.ModelStore`, so Figs. 3-8
 share models exactly as the paper does ("The updated model is used in the
 following experiments") and repeat invocations — including fresh
 processes — load the stored artifact instead of retraining.
+
+Result containers and rendering live in :mod:`repro.pipeline.report`
+(re-exported here for compatibility); experiment *structure* lives in
+:mod:`repro.pipeline` specs.
 """
 
 from __future__ import annotations
 
-import json
-import os
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.errors import ErrorSummary, error_summary
+from repro.core.errors import (
+    ErrorSummary,
+    UnknownExperimentError,
+    error_summary,
+)
 from repro.core.perfvec import PerfVec
 from repro.features.dataset import TraceDataset, build_dataset
 from repro.ml.trainer import TrainHistory
+from repro.pipeline.report import (  # noqa: F401 — compat re-exports
+    ExperimentResult,
+    render_surface,
+    render_table,
+)
 from repro.uarch import sample_configs
 from repro.uarch.config import MicroarchConfig
 from repro.workloads import TEST_BENCHMARKS, TRAIN_BENCHMARKS
-
-#: Where experiment JSON results land.
-RESULTS_DIR = "results"
 
 
 @dataclass(frozen=True)
@@ -80,7 +88,7 @@ def get_scale(scale: str | ScaleConfig) -> ScaleConfig:
     if isinstance(scale, ScaleConfig):
         return scale
     if scale not in SCALES:
-        raise KeyError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
+        raise UnknownExperimentError(scale, SCALES, kind="scale")
     return SCALES[scale]
 
 
@@ -117,7 +125,8 @@ def get_default_jobs() -> int:
 # ---------------------------------------------------------------------------
 _CONFIG_CACHE: dict[str, list[MicroarchConfig]] = {}
 _DATASET_CACHE: dict[tuple, TraceDataset] = {}
-_MODEL_CACHE: dict[tuple, tuple[PerfVec, TrainHistory]] = {}
+#: (model, history, store artifact id) per training identity + store root.
+_MODEL_CACHE: dict[tuple, tuple[PerfVec, TrainHistory, str]] = {}
 
 
 def seen_configs(scale: ScaleConfig) -> list[MicroarchConfig]:
@@ -174,12 +183,40 @@ def trained_model(
     spec + training provenance + dataset fingerprint (so *repeat
     invocations in fresh processes* skip retraining entirely).
     """
+    model, history, _ = _trained_entry(scale, train_benchmarks, spec, epochs)
+    return model, history
+
+
+def trained_artifact(
+    scale: ScaleConfig,
+    train_benchmarks: tuple[str, ...] = TRAIN_BENCHMARKS,
+    spec: str | None = None,
+    epochs: int | None = None,
+) -> str:
+    """Train-or-reuse via the same path as :func:`trained_model`,
+    returning the stored artifact id (what pipeline ``train`` stages
+    record as provenance)."""
+    return _trained_entry(scale, train_benchmarks, spec, epochs)[2]
+
+
+def _trained_entry(
+    scale: ScaleConfig,
+    train_benchmarks: tuple[str, ...],
+    spec: str | None,
+    epochs: int | None,
+) -> tuple[PerfVec, TrainHistory, str]:
+    import os
+
     from repro.models import ModelStore, PerfVecModel
     from repro.models.store import training_provenance
 
     spec = spec or scale.spec
     epochs = epochs or scale.epochs
-    key = (scale.name, tuple(train_benchmarks), spec, epochs)
+    store = ModelStore()  # resolves REPRO_CACHE_DIR at call time
+    # the memo is per store root: redirecting the cache mid-process must
+    # not serve a model the new root's store has never seen
+    key = (scale.name, tuple(train_benchmarks), spec, epochs,
+           os.path.abspath(store.root))
     cached = _MODEL_CACHE.get(key)
     if cached is None:
         dataset = benchmark_dataset(scale, train_benchmarks)
@@ -191,7 +228,6 @@ def trained_model(
         train_config = training_provenance(
             scale.name, "perfvec", train_benchmarks
         )
-        store = ModelStore()  # resolves REPRO_CACHE_DIR at call time
         artifact = store.find(
             family="perfvec", dataset_fingerprint=fingerprint,
             spec=wrapper.spec, train_config=train_config,
@@ -200,11 +236,11 @@ def trained_model(
             wrapper = store.load(artifact, expect_fingerprint=fingerprint)
         else:
             wrapper.fit(dataset)
-            store.put(
+            artifact = store.put(
                 wrapper, dataset_fingerprint=fingerprint,
                 train_config=train_config,
             )
-        cached = (wrapper.perfvec, wrapper.history or TrainHistory())
+        cached = (wrapper.perfvec, wrapper.history or TrainHistory(), artifact)
         _MODEL_CACHE[key] = cached
     return cached
 
@@ -251,83 +287,5 @@ def split_label(name: str) -> str:
     return "extra"
 
 
-# ---------------------------------------------------------------------------
-# result container + rendering
-# ---------------------------------------------------------------------------
-@dataclass
-class ExperimentResult:
-    """Uniform result record: printable and JSON-serializable."""
-
-    experiment: str
-    title: str
-    scale: str
-    headers: list[str]
-    rows: list[list]
-    notes: list[str] = field(default_factory=list)
-    metrics: dict[str, float] = field(default_factory=dict)
-
-    def render(self) -> str:
-        out = [f"== {self.experiment}: {self.title} (scale={self.scale}) =="]
-        out.append(render_table(self.headers, self.rows))
-        for key, value in sorted(self.metrics.items()):
-            out.append(f"  {key} = {value:.4g}")
-        for note in self.notes:
-            out.append(f"  note: {note}")
-        return "\n".join(out)
-
-    def save(self, results_dir: str = RESULTS_DIR) -> str:
-        os.makedirs(results_dir, exist_ok=True)
-        path = os.path.join(results_dir, f"{self.experiment}_{self.scale}.json")
-        payload = {
-            "experiment": self.experiment,
-            "title": self.title,
-            "scale": self.scale,
-            "headers": self.headers,
-            "rows": self.rows,
-            "notes": self.notes,
-            "metrics": self.metrics,
-        }
-        with open(path, "w") as fh:
-            json.dump(payload, fh, indent=2, default=str)
-        return path
-
-
-def render_table(headers: list[str], rows: list[list]) -> str:
-    """Plain-text table with per-column widths."""
-    def fmt(value) -> str:
-        if isinstance(value, float):
-            return f"{value:.4g}"
-        return str(value)
-
-    cells = [[fmt(v) for v in row] for row in rows]
-    widths = [
-        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
-        for i in range(len(headers))
-    ]
-    lines = [
-        "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
-        "  ".join("-" * w for w in widths),
-    ]
-    for row in cells:
-        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
-    return "\n".join(lines)
-
-
-def render_surface(
-    surface: np.ndarray, row_labels: list[str], col_labels: list[str],
-    title: str,
-) -> str:
-    """6x6-style numeric heatmap (Fig. 7's objective surfaces) with the
-    minimum cell marked."""
-    surface = np.asarray(surface, dtype=np.float64)
-    best = np.unravel_index(surface.argmin(), surface.shape)
-    lines = [title]
-    header = " " * 8 + "  ".join(f"{c:>8s}" for c in col_labels)
-    lines.append(header)
-    for i, label in enumerate(row_labels):
-        cells = []
-        for j in range(surface.shape[1]):
-            mark = "*" if (i, j) == best else " "
-            cells.append(f"{surface[i, j]:8.3g}{mark}")
-        lines.append(f"{label:>6s}  " + " ".join(cells))
-    return "\n".join(lines)
+# Result container + rendering moved to repro.pipeline.report (the
+# report stage owns them now); re-exported at the top for compatibility.

@@ -9,12 +9,11 @@ all later experiments use.
 from __future__ import annotations
 
 from repro.experiments.common import (
-    ExperimentResult,
     benchmark_dataset,
-    get_scale,
     total_time_errors,
     trained_model,
 )
+from repro.pipeline import ExperimentSpec, analysis, stage
 from repro.workloads import ALL_BENCHMARKS, TEST_BENCHMARKS, TRAIN_BENCHMARKS
 
 #: The Fig. 4 training split: Table II's training set plus 519.lbm.
@@ -24,8 +23,9 @@ UPDATED_TEST: tuple[str, ...] = tuple(
 )
 
 
-def run(scale: str = "bench") -> ExperimentResult:
-    cfg = get_scale(scale)
+@analysis("fig4_retrain_lbm")
+def analyze(ctx, params, inputs) -> dict:
+    cfg = ctx.scale
     before_model, _ = trained_model(cfg, TRAIN_BENCHMARKS)
     after_model, _ = trained_model(cfg, UPDATED_TRAIN)
     dataset = benchmark_dataset(cfg, tuple(ALL_BENCHMARKS))
@@ -45,20 +45,43 @@ def run(scale: str = "bench") -> ExperimentResult:
     others = [n for n in ALL_BENCHMARKS if n != "519.lbm"]
     avg_before = sum(before[n].mean for n in others) / len(others)
     avg_after = sum(after[n].mean for n in others) / len(others)
-    return ExperimentResult(
-        experiment="fig4_retrain_lbm",
-        title="Accuracy after moving 519.lbm into training",
-        scale=cfg.name,
-        headers=["benchmark", "split", "err_before", "err_after", "delta"],
-        rows=rows,
-        metrics={
+    return {
+        "headers": ["benchmark", "split", "err_before", "err_after", "delta"],
+        "rows": rows,
+        "metrics": {
             "lbm_error_before": lbm_before,
             "lbm_error_after": lbm_after,
             "others_avg_before": avg_before,
             "others_avg_after": avg_after,
         },
-        notes=[
+        "notes": [
             "paper: lbm error drops close to zero once seen; other programs "
             "also improve (larger datasets -> better coverage)",
         ],
-    )
+    }
+
+
+SPEC = ExperimentSpec(
+    name="fig4_retrain_lbm",
+    title="Accuracy after moving 519.lbm into training",
+    description="Fig. 4 — moving 519.lbm into the training split",
+    stages=(
+        stage("suite_data", "dataset", benchmarks="all"),
+        stage("foundation_before", "train", benchmarks="train",
+              needs=("suite_data",)),
+        stage("foundation_after", "train", benchmarks="updated-train",
+              needs=("suite_data",)),
+        stage("analyze", "analysis", fn="fig4_retrain_lbm",
+              needs=("foundation_before", "foundation_after")),
+        stage("report", "report",
+              title="Accuracy after moving 519.lbm into training",
+              needs=("analyze",)),
+    ),
+)
+
+
+def run(scale: str = "bench"):
+    """Back-compat shim: one pipeline run, returning the ExperimentResult."""
+    from repro.pipeline import run_spec
+
+    return run_spec(SPEC, scale=scale).result

@@ -11,22 +11,26 @@ from __future__ import annotations
 
 from repro.core.finetune import learn_unseen_uarch_table
 from repro.experiments.common import (
-    ExperimentResult,
     benchmark_dataset,
-    get_scale,
     total_time_errors,
     trained_model,
     unseen_configs,
 )
 from repro.experiments.fig4_retrain_lbm import UPDATED_TEST, UPDATED_TRAIN
+from repro.pipeline import ExperimentSpec, analysis, stage
 from repro.workloads import ALL_BENCHMARKS
 
 #: Seen programs used to build the unseen-uarch tuning dataset.
 TUNING_BENCHMARKS: tuple[str, ...] = ("525.x264", "544.nab", "557.xz")
 
+#: Default number of target unseen microarchitectures.
+DEFAULT_N_UNSEEN = 10
 
-def run(scale: str = "bench", n_unseen: int = 10) -> ExperimentResult:
-    cfg = get_scale(scale)
+
+@analysis("fig5_unseen_uarch")
+def analyze(ctx, params, inputs) -> dict:
+    cfg = ctx.scale
+    n_unseen = int(params.get("n_unseen", DEFAULT_N_UNSEEN))
     model, _ = trained_model(cfg, UPDATED_TRAIN)
     targets = unseen_configs(cfg, n_unseen)
 
@@ -50,20 +54,53 @@ def run(scale: str = "bench", n_unseen: int = 10) -> ExperimentResult:
         )
     seen = [errors[n].mean for n in UPDATED_TRAIN]
     unseen = [errors[n].mean for n in UPDATED_TEST]
-    return ExperimentResult(
-        experiment="fig5_unseen_uarch",
-        title="Prediction error on unseen microarchitectures",
-        scale=cfg.name,
-        headers=["benchmark", "split", "mean", "std", "max"],
-        rows=rows,
-        metrics={
+    return {
+        "headers": ["benchmark", "split", "mean", "std", "max"],
+        "rows": rows,
+        "metrics": {
             "avg_seen_error": sum(seen) / len(seen),
             "avg_unseen_error": sum(unseen) / len(unseen),
             "unseen_uarch_count": float(len(targets)),
         },
-        notes=[
+        "notes": [
             "foundation frozen; only microarchitecture representations "
             "learned from a small tuning set of seen programs",
             "paper: 4.2% (seen programs) / 7.1% (unseen programs)",
         ],
-    )
+    }
+
+
+SPEC = ExperimentSpec(
+    name="fig5_unseen_uarch",
+    title="Prediction error on unseen microarchitectures",
+    description="Fig. 5 — generality to unseen microarchitectures",
+    stages=(
+        stage("train_data", "dataset", benchmarks="updated-train"),
+        stage("foundation", "train", benchmarks="updated-train",
+              needs=("train_data",)),
+        stage("tuning_data", "dataset", benchmarks=list(TUNING_BENCHMARKS),
+              configs="unseen", count=DEFAULT_N_UNSEEN),
+        stage("eval_data", "dataset", benchmarks="all",
+              configs="unseen", count=DEFAULT_N_UNSEEN),
+        stage("analyze", "analysis", fn="fig5_unseen_uarch",
+              n_unseen=DEFAULT_N_UNSEEN,
+              needs=("foundation", "tuning_data", "eval_data")),
+        stage("report", "report",
+              title="Prediction error on unseen microarchitectures",
+              needs=("analyze",)),
+    ),
+)
+
+
+def run(scale: str = "bench", n_unseen: int = DEFAULT_N_UNSEEN):
+    """Back-compat shim: one pipeline run, returning the ExperimentResult."""
+    from repro.pipeline import run_spec
+
+    spec = SPEC
+    if n_unseen != DEFAULT_N_UNSEEN:
+        spec = SPEC.override({
+            "tuning_data.count": n_unseen,
+            "eval_data.count": n_unseen,
+            "analyze.n_unseen": n_unseen,
+        })
+    return run_spec(spec, scale=scale).result

@@ -9,6 +9,9 @@ minimizing ``(1000 + 10*L1kB + L2kB) * time``.
 Paper results: PerfVec's pick is optimal for 4/17 programs, top-2 for 11,
 top-3 for 15, top-5 for all; on average only 3.6% of designs beat it.  The
 predicted objective surface for 508.namd matches gem5's shape but smoother.
+
+The tuning programs and sampled-configuration count are spec parameters,
+so a sweep over them is one :class:`~repro.pipeline.SweepSpec` away.
 """
 
 from __future__ import annotations
@@ -20,14 +23,13 @@ from repro.core.perfvec import PerfVec
 from repro.core.predictor import TICK_SCALE
 from repro.core.uarch_model import cache_size_params, train_uarch_model
 from repro.experiments.common import (
-    ExperimentResult,
     ScaleConfig,
     benchmark_dataset,
-    get_scale,
     render_surface,
     trained_model,
 )
 from repro.experiments.fig4_retrain_lbm import UPDATED_TRAIN
+from repro.pipeline import ExperimentSpec, analysis, stage
 from repro.uarch.presets import cortex_a7_like
 from repro.workloads import ALL_BENCHMARKS
 
@@ -52,12 +54,14 @@ def perfvec_dse_times(
     model: PerfVec,
     dse: CacheDSE,
     benchmarks: tuple[str, ...],
+    tuning_benchmarks: tuple[str, ...] = DSE_TUNING_BENCHMARKS,
+    tuning_configs: int = DSE_TUNING_CONFIGS,
 ) -> tuple[dict[str, np.ndarray], dict[str, float]]:
     """PerfVec-predicted times per program over the grid, plus overhead info."""
-    sample_idx = dse.sample_configs(min(DSE_TUNING_CONFIGS, len(dse)), seed=cfg.seed)
+    sample_idx = dse.sample_configs(min(tuning_configs, len(dse)), seed=cfg.seed)
     tuning_cfgs = [dse.configs[i] for i in sample_idx]
     tune_ds = benchmark_dataset(
-        cfg, DSE_TUNING_BENCHMARKS, configs=tuning_cfgs,
+        cfg, tuning_benchmarks, configs=tuning_cfgs,
         instructions=cfg.dse_instructions,
     )
     uarch = train_uarch_model(
@@ -74,22 +78,30 @@ def perfvec_dse_times(
         rep = model.program_representation(feats, chunk_len=cfg.chunk_len)
         times[name] = (rep @ m_all.T.astype(np.float64)) / TICK_SCALE
     overhead = {
-        "tuning_simulations": float(len(tuning_cfgs) * len(DSE_TUNING_BENCHMARKS)),
+        "tuning_simulations": float(len(tuning_cfgs) * len(tuning_benchmarks)),
         "tuning_instructions": float(
-            len(tuning_cfgs) * len(DSE_TUNING_BENCHMARKS) * cfg.dse_instructions
+            len(tuning_cfgs) * len(tuning_benchmarks) * cfg.dse_instructions
         ),
     }
     return times, overhead
 
 
-def run(scale: str = "bench") -> ExperimentResult:
-    cfg = get_scale(scale)
+@analysis("fig7_cache_dse")
+def analyze(ctx, params, inputs) -> dict:
+    cfg = ctx.scale
+    tuning_benchmarks = tuple(
+        params.get("tuning_benchmarks", DSE_TUNING_BENCHMARKS)
+    )
+    tuning_configs = int(params.get("tuning_configs", DSE_TUNING_CONFIGS))
     model, _ = trained_model(cfg, UPDATED_TRAIN)
     dse = CacheDSE(cortex_a7_like())
     benchmarks = tuple(ALL_BENCHMARKS)
 
     truth = dse_ground_truth(cfg, dse, benchmarks)
-    predicted, overhead = perfvec_dse_times(cfg, model, dse, benchmarks)
+    predicted, overhead = perfvec_dse_times(
+        cfg, model, dse, benchmarks,
+        tuning_benchmarks=tuning_benchmarks, tuning_configs=tuning_configs,
+    )
 
     rows = []
     qualities = []
@@ -127,15 +139,39 @@ def run(scale: str = "bench") -> ExperimentResult:
             f"{namd} objective surface — PerfVec prediction (x1e6):",
         ),
     ]
-    return ExperimentResult(
-        experiment="fig7_cache_dse",
-        title="L1D x L2 cache-size DSE (objective rank per program)",
-        scale=cfg.name,
-        headers=["benchmark", "chosen design", "rank", "frac designs better"],
-        rows=rows,
-        metrics=metrics,
-        notes=surfaces + [
+    return {
+        "headers": ["benchmark", "chosen design", "rank",
+                    "frac designs better"],
+        "rows": rows,
+        "metrics": metrics,
+        "notes": surfaces + [
             "paper: optimal for 4/17, top-2 for 11, top-3 for 15, top-5 for "
             "all; avg 3.6% of designs better than PerfVec's pick",
         ],
-    )
+    }
+
+
+SPEC = ExperimentSpec(
+    name="fig7_cache_dse",
+    title="L1D x L2 cache-size DSE (objective rank per program)",
+    description="Fig. 7 + Sec. VI-A — cache-size DSE",
+    stages=(
+        stage("train_data", "dataset", benchmarks="updated-train"),
+        stage("foundation", "train", benchmarks="updated-train",
+              needs=("train_data",)),
+        stage("analyze", "analysis", fn="fig7_cache_dse",
+              tuning_benchmarks=list(DSE_TUNING_BENCHMARKS),
+              tuning_configs=DSE_TUNING_CONFIGS,
+              needs=("foundation",)),
+        stage("report", "report",
+              title="L1D x L2 cache-size DSE (objective rank per program)",
+              needs=("analyze",)),
+    ),
+)
+
+
+def run(scale: str = "bench"):
+    """Back-compat shim: one pipeline run, returning the ExperimentResult."""
+    from repro.pipeline import run_spec
+
+    return run_spec(SPEC, scale=scale).result

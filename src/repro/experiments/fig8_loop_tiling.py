@@ -8,6 +8,10 @@ region.  "This analysis incurs negligible inference overhead and no
 training overhead because the pre-trained foundation model is used" — here
 the A7's representation is obtained with one small least-squares fit
 (foundation frozen).
+
+The matrix size and tile sweep are spec parameters
+(``analyze.matrix_n`` / ``analyze.tiles``), so alternative tilings are a
+spec override or a :class:`~repro.pipeline.SweepSpec` axis, not new code.
 """
 
 from __future__ import annotations
@@ -16,14 +20,10 @@ import numpy as np
 
 from repro.core.finetune import learn_unseen_uarch_table
 from repro.core.predictor import TICK_SCALE
-from repro.experiments.common import (
-    ExperimentResult,
-    benchmark_dataset,
-    get_scale,
-    trained_model,
-)
+from repro.experiments.common import benchmark_dataset, trained_model
 from repro.experiments.fig4_retrain_lbm import UPDATED_TRAIN
 from repro.features import encode_trace
+from repro.pipeline import ExperimentSpec, analysis, stage
 from repro.sim import simulate
 from repro.uarch.presets import cortex_a7_like
 from repro.vm import run_program
@@ -35,8 +35,11 @@ MATRIX_N = 48
 TILES: tuple[int, ...] = (1, 2, 4, 8, 16, 48)
 
 
-def run(scale: str = "bench") -> ExperimentResult:
-    cfg = get_scale(scale)
+@analysis("fig8_loop_tiling")
+def analyze(ctx, params, inputs) -> dict:
+    cfg = ctx.scale
+    matrix_n = int(params.get("matrix_n", MATRIX_N))
+    tiles = tuple(int(t) for t in params.get("tiles", TILES))
     a7 = cortex_a7_like()
     model, _ = trained_model(cfg, UPDATED_TRAIN)
     budget = max(cfg.dse_instructions, 4000)
@@ -52,8 +55,8 @@ def run(scale: str = "bench") -> ExperimentResult:
     rows = []
     sim_times = []
     pv_times = []
-    for tile in TILES:
-        program = matmul(n=MATRIX_N, tile=tile, reps=10_000)
+    for tile in tiles:
+        program = matmul(n=matrix_n, tile=tile, reps=10_000)
         trace = run_program(program, max_instructions=budget)
         sim_ticks = float(
             simulate(trace, a7).incremental_latencies.astype(np.float64).sum()
@@ -68,24 +71,45 @@ def run(scale: str = "bench") -> ExperimentResult:
              f"{abs(pv_ticks - sim_ticks) / sim_ticks:.1%}"]
         )
 
-    sim_best = TILES[int(np.argmin(sim_times))]
-    pv_best = TILES[int(np.argmin(pv_times))]
+    sim_best = tiles[int(np.argmin(sim_times))]
+    pv_best = tiles[int(np.argmin(pv_times))]
     corr = float(np.corrcoef(sim_times, pv_times)[0, 1])
-    return ExperimentResult(
-        experiment="fig8_loop_tiling",
-        title=f"MM loop tiling ({MATRIX_N}x{MATRIX_N}) on Cortex-A7-like",
-        scale=cfg.name,
-        headers=["tile", "simulator time", "perfvec time", "error"],
-        rows=rows,
-        metrics={
+    return {
+        "title": f"MM loop tiling ({matrix_n}x{matrix_n}) on Cortex-A7-like",
+        "headers": ["tile", "simulator time", "perfvec time", "error"],
+        "rows": rows,
+        "metrics": {
             "sim_best_tile": float(sim_best),
             "perfvec_best_tile": float(pv_best),
             "time_correlation": corr,
         },
-        notes=[
+        "notes": [
             "times cover an equal instruction budget per tile, so they "
             "compare per-instruction efficiency (cache reuse) across tiles",
             "paper: optimum at tile 16 in gem5; PerfVec ranks 16/32 "
             "equally best; surfaces agree in shape",
         ],
-    )
+    }
+
+
+SPEC = ExperimentSpec(
+    name="fig8_loop_tiling",
+    title=f"MM loop tiling ({MATRIX_N}x{MATRIX_N}) on Cortex-A7-like",
+    description="Fig. 8 — matrix-multiply loop tiling",
+    stages=(
+        stage("train_data", "dataset", benchmarks="updated-train"),
+        stage("foundation", "train", benchmarks="updated-train",
+              needs=("train_data",)),
+        stage("analyze", "analysis", fn="fig8_loop_tiling",
+              matrix_n=MATRIX_N, tiles=list(TILES),
+              needs=("foundation",)),
+        stage("report", "report", needs=("analyze",)),
+    ),
+)
+
+
+def run(scale: str = "bench"):
+    """Back-compat shim: one pipeline run, returning the ExperimentResult."""
+    from repro.pipeline import run_spec
+
+    return run_spec(SPEC, scale=scale).result

@@ -1,4 +1,10 @@
-"""Experiment registry and runner.
+"""Experiment registry and runner (back-compat layer over the pipeline).
+
+Every experiment is now a :mod:`repro.pipeline` spec (its module's
+``SPEC``); the module ``run`` callables registered here are thin shims
+that execute that spec through the pipeline runner, so a repeat
+invocation is answered from per-stage artifacts instead of re-executing.
+The spec registry itself lives in :mod:`repro.pipeline.presets`.
 
 :func:`run_experiment` executes one experiment; ``jobs`` controls how many
 processes its trace simulations fan out across.  :func:`run_all` executes
@@ -14,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.core.errors import UnknownExperimentError
 from repro.experiments import (
     fig3_seen_unseen,
     fig4_retrain_lbm,
@@ -55,7 +62,7 @@ def run_experiment(
     restored afterwards.
     """
     if name not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}")
+        raise UnknownExperimentError(name, EXPERIMENTS)
     if jobs is None:
         return EXPERIMENTS[name](scale=scale)
     previous = set_default_jobs(jobs)
@@ -153,9 +160,7 @@ def run_all(
     names = list(names) if names is not None else list(EXPERIMENTS)
     for name in names:
         if name not in EXPERIMENTS:
-            raise KeyError(
-                f"unknown experiment {name!r}; known: {sorted(EXPERIMENTS)}"
-            )
+            raise UnknownExperimentError(name, EXPERIMENTS)
     jobs = resolve_jobs(jobs)
     if jobs > 1:
         stream = progress.stream if progress is not None else None

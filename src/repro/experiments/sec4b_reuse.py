@@ -9,16 +9,14 @@ hours — near-constant in k instead of linear.
 from __future__ import annotations
 
 from repro.core.training import FoundationTrainConfig, naive_training_step_cost
-from repro.experiments.common import (
-    ExperimentResult,
-    benchmark_dataset,
-    get_scale,
-)
+from repro.experiments.common import benchmark_dataset
+from repro.pipeline import ExperimentSpec, analysis, stage
 from repro.workloads import TRAIN_BENCHMARKS
 
 
-def run(scale: str = "bench") -> ExperimentResult:
-    cfg = get_scale(scale)
+@analysis("sec4b_reuse")
+def analyze(ctx, params, inputs) -> dict:
+    cfg = ctx.scale
     full = benchmark_dataset(cfg, TRAIN_BENCHMARKS)
     k_values = sorted({max(2, full.num_configs // 4), full.num_configs // 2,
                        full.num_configs})
@@ -37,15 +35,33 @@ def run(scale: str = "bench") -> ExperimentResult:
              f"{cost['speedup']:.1f}x"]
         )
         metrics[f"speedup_k{k}"] = cost["speedup"]
-    return ExperimentResult(
-        experiment="sec4b_reuse",
-        title="Representation reuse vs naive per-uarch training cost",
-        scale=cfg.name,
-        headers=["uarchs (k)", "reuse/step", "naive/step", "speedup"],
-        rows=rows,
-        metrics=metrics,
-        notes=[
+    return {
+        "headers": ["uarchs (k)", "reuse/step", "naive/step", "speedup"],
+        "rows": rows,
+        "metrics": metrics,
+        "notes": [
             "speedup grows ~linearly with k: reuse amortizes the foundation "
             "pass (paper: 26 days -> 8 hours per epoch at k=77)",
         ],
-    )
+    }
+
+
+SPEC = ExperimentSpec(
+    name="sec4b_reuse",
+    title="Representation reuse vs naive per-uarch training cost",
+    description="Sec. IV-B — representation-reuse speedup",
+    stages=(
+        stage("train_data", "dataset", benchmarks="train"),
+        stage("analyze", "analysis", fn="sec4b_reuse", needs=("train_data",)),
+        stage("report", "report",
+              title="Representation reuse vs naive per-uarch training cost",
+              needs=("analyze",)),
+    ),
+)
+
+
+def run(scale: str = "bench"):
+    """Back-compat shim: one pipeline run, returning the ExperimentResult."""
+    from repro.pipeline import run_spec
+
+    return run_spec(SPEC, scale=scale).result

@@ -14,13 +14,11 @@ from __future__ import annotations
 from repro.core.finetune import learn_unseen_uarch_table
 from repro.core.training import FoundationTrainConfig, train_foundation
 from repro.experiments.common import (
-    ExperimentResult,
     benchmark_dataset,
-    get_scale,
     total_time_errors,
-    trained_model,
     unseen_configs,
 )
+from repro.pipeline import ExperimentSpec, analysis, stage
 from repro.workloads import TEST_BENCHMARKS, TRAIN_BENCHMARKS
 
 INSTRUCTION_FRACTIONS = (0.1, 0.5, 1.0)
@@ -30,8 +28,9 @@ def _avg_error(errors) -> float:
     return sum(s.mean for s in errors.values()) / len(errors)
 
 
-def run(scale: str = "bench") -> ExperimentResult:
-    cfg = get_scale(scale)
+@analysis("sec5b_data_volume")
+def analyze(ctx, params, inputs) -> dict:
+    cfg = ctx.scale
     rows = []
     metrics: dict[str, float] = {}
 
@@ -90,16 +89,40 @@ def run(scale: str = "bench") -> ExperimentResult:
         metrics[f"{key}_uarch_prog_error"] = prog_err
         metrics[f"{key}_uarch_unseen_uarch_error"] = uarch_err
 
-    return ExperimentResult(
-        experiment="sec5b_data_volume",
-        title="Training-data volume ablation",
-        scale=cfg.name,
-        headers=["training data", "unseen-program err", "unseen-uarch err"],
-        rows=rows,
-        metrics=metrics,
-        notes=[
+    return {
+        "headers": ["training data", "unseen-program err", "unseen-uarch err"],
+        "rows": rows,
+        "metrics": metrics,
+        "notes": [
             "paper: 7.7% -> 5.2% -> 3.6% with 10/50/100% instructions",
             "paper: 20 vs 77 uarchs hurts unseen-uarch error (5.3->7.9%) "
             "more than unseen-program error (5.5->7.2%)",
         ],
-    )
+    }
+
+
+SPEC = ExperimentSpec(
+    name="sec5b_data_volume",
+    title="Training-data volume ablation",
+    description="Sec. V-B — training-data volume ablation",
+    stages=(
+        stage("train_data", "dataset", benchmarks="train"),
+        stage("test_data", "dataset", benchmarks="test"),
+        stage("unseen_tune_data", "dataset",
+              benchmarks=["525.x264", "557.xz"], configs="unseen", count=6),
+        stage("unseen_eval_data", "dataset", benchmarks="test",
+              configs="unseen", count=6),
+        stage("analyze", "analysis", fn="sec5b_data_volume",
+              needs=("train_data", "test_data", "unseen_tune_data",
+                     "unseen_eval_data")),
+        stage("report", "report", title="Training-data volume ablation",
+              needs=("analyze",)),
+    ),
+)
+
+
+def run(scale: str = "bench"):
+    """Back-compat shim: one pipeline run, returning the ExperimentResult."""
+    from repro.pipeline import run_spec
+
+    return run_spec(SPEC, scale=scale).result

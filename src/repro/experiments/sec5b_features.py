@@ -13,14 +13,10 @@ import dataclasses
 import numpy as np
 
 from repro.core.training import FoundationTrainConfig, train_foundation
-from repro.experiments.common import (
-    ExperimentResult,
-    benchmark_dataset,
-    get_scale,
-    total_time_errors,
-)
-from repro.features.encoder import FeatureGroups
+from repro.experiments.common import benchmark_dataset, total_time_errors
 from repro.features.dataset import TraceDataset
+from repro.features.encoder import FeatureGroups
+from repro.pipeline import ExperimentSpec, analysis, stage
 from repro.workloads import TEST_BENCHMARKS, TRAIN_BENCHMARKS
 
 
@@ -37,8 +33,9 @@ def _avg_error(errors) -> float:
     return float(np.mean([s.mean for s in errors.values()]))
 
 
-def run(scale: str = "bench") -> ExperimentResult:
-    cfg = get_scale(scale)
+@analysis("sec5b_features")
+def analyze(ctx, params, inputs) -> dict:
+    cfg = ctx.scale
     train_ds = benchmark_dataset(cfg, TRAIN_BENCHMARKS)
     test_ds = benchmark_dataset(cfg, tuple(TEST_BENCHMARKS))
     tc = FoundationTrainConfig(
@@ -56,19 +53,42 @@ def run(scale: str = "bench") -> ExperimentResult:
         )
     )
 
-    return ExperimentResult(
-        experiment="sec5b_features",
-        title="Memory/branch feature ablation (avg unseen-program error)",
-        scale=cfg.name,
-        headers=["features", "avg_unseen_error"],
-        rows=[
+    return {
+        "headers": ["features", "avg_unseen_error"],
+        "rows": [
             ["all 51 (Table I)", f"{full_err:.1%}"],
             ["without memory + branch", f"{masked_err:.1%}"],
         ],
-        metrics={
+        "metrics": {
             "full_features_error": full_err,
             "masked_features_error": masked_err,
             "degradation_factor": masked_err / max(full_err, 1e-9),
         },
-        notes=["paper: 5.5% with all features vs 17.0% without memory/branch"],
-    )
+        "notes": [
+            "paper: 5.5% with all features vs 17.0% without memory/branch"
+        ],
+    }
+
+
+SPEC = ExperimentSpec(
+    name="sec5b_features",
+    title="Memory/branch feature ablation (avg unseen-program error)",
+    description="Sec. V-B — feature ablation",
+    stages=(
+        stage("train_data", "dataset", benchmarks="train"),
+        stage("test_data", "dataset", benchmarks="test"),
+        stage("analyze", "analysis", fn="sec5b_features",
+              needs=("train_data", "test_data")),
+        stage("report", "report",
+              title="Memory/branch feature ablation "
+                    "(avg unseen-program error)",
+              needs=("analyze",)),
+    ),
+)
+
+
+def run(scale: str = "bench"):
+    """Back-compat shim: one pipeline run, returning the ExperimentResult."""
+    from repro.pipeline import run_spec
+
+    return run_spec(SPEC, scale=scale).result

@@ -14,12 +14,8 @@ import numpy as np
 
 from repro.baselines.ithemal import IthemalModel, extract_basic_blocks
 from repro.baselines.simnet import SimNetModel, simnet_features
-from repro.experiments.common import (
-    ExperimentResult,
-    benchmark_dataset,
-    get_scale,
-    trained_model,
-)
+from repro.experiments.common import benchmark_dataset, trained_model
+from repro.pipeline import ExperimentSpec, analysis, stage
 from repro.sim import simulate
 from repro.uarch.presets import cortex_a7_like
 from repro.workloads import TRAIN_BENCHMARKS, get_trace
@@ -34,8 +30,9 @@ def _time(fn, repeats: int = 3) -> float:
     return best
 
 
-def run(scale: str = "bench") -> ExperimentResult:
-    cfg = get_scale(scale)
+@analysis("table3_comparison")
+def analyze(ctx, params, inputs) -> dict:
+    cfg = ctx.scale
     n = cfg.instructions
     trace = get_trace("557.xz", n)
     a7 = cortex_a7_like()
@@ -79,23 +76,44 @@ def run(scale: str = "bench") -> ExperimentResult:
         ["PerfVec", "uarch-independent instr trace", "program",
          "hours", f"{t_predict * 1e6:.0f} us/program", "yes", "yes"],
     ]
-    return ExperimentResult(
-        experiment="table3_comparison",
-        title="Comparison of modeling approaches (speeds measured here)",
-        scale=cfg.name,
-        headers=["approach", "input", "target", "train overhead",
-                 "prediction speed", "program-general", "uarch-general"],
-        rows=rows,
-        metrics={
+    return {
+        "headers": ["approach", "input", "target", "train overhead",
+                    "prediction speed", "program-general", "uarch-general"],
+        "rows": rows,
+        "metrics": {
             "ithemal_ips": ithemal_ips,
             "simnet_ips": simnet_ips,
             "perfvec_rep_generation_ips": n / t_rep,
             "perfvec_predict_seconds": t_predict,
         },
-        notes=[
+        "notes": [
             "PerfVec prediction with a pre-computed program representation "
             "is a dot product: independent of program size",
             "SimNet speed includes re-extracting uarch-dependent features, "
             "which must be redone for every target microarchitecture",
         ],
-    )
+    }
+
+
+SPEC = ExperimentSpec(
+    name="table3_comparison",
+    title="Comparison of modeling approaches (speeds measured here)",
+    description="Table III — approach comparison + measured speeds",
+    stages=(
+        stage("xz_data", "dataset", benchmarks=["557.xz"]),
+        stage("foundation", "train", benchmarks="train"),
+        stage("analyze", "analysis", fn="table3_comparison",
+              needs=("xz_data", "foundation")),
+        stage("report", "report",
+              title="Comparison of modeling approaches "
+                    "(speeds measured here)",
+              needs=("analyze",)),
+    ),
+)
+
+
+def run(scale: str = "bench"):
+    """Back-compat shim: one pipeline run, returning the ExperimentResult."""
+    from repro.pipeline import run_spec
+
+    return run_spec(SPEC, scale=scale).result

@@ -29,13 +29,14 @@ from repro.baselines.actboost import AdaBoostR2, stratified_sample
 from repro.baselines.cross_program import CrossProgramPredictor
 from repro.baselines.program_specific import ProgramSpecificMLP
 from repro.core.dse import CacheDSE
-from repro.experiments.common import ExperimentResult, get_scale, trained_model
+from repro.experiments.common import trained_model
 from repro.experiments.fig4_retrain_lbm import UPDATED_TRAIN
 from repro.experiments.fig7_cache_dse import (
     DSE_TUNING_BENCHMARKS,
     dse_ground_truth,
     perfvec_dse_times,
 )
+from repro.pipeline import ExperimentSpec, analysis, stage
 from repro.uarch.presets import cortex_a7_like
 from repro.workloads import ALL_BENCHMARKS
 
@@ -50,8 +51,9 @@ def _avg_quality(dse: CacheDSE, truth, predicted) -> float:
     return float(np.mean(vals))
 
 
-def run(scale: str = "bench") -> ExperimentResult:
-    cfg = get_scale(scale)
+@analysis("table4_dse_methods")
+def analyze(ctx, params, inputs) -> dict:
+    cfg = ctx.scale
     dse = CacheDSE(cortex_a7_like())
     benchmarks = tuple(ALL_BENCHMARKS)
     grid_size = len(dse)
@@ -101,14 +103,14 @@ def run(scale: str = "bench") -> ExperimentResult:
     # ---- ActBoost: per-program stratified 28% ---------------------------
     n_boost = max(3, int(round(grid_size * 0.28)))
     start = time.perf_counter()
-    params = np.stack([c.to_feature_vector() for c in dse.configs])
+    params_grid = np.stack([c.to_feature_vector() for c in dse.configs])
     preds = {}
     for name in benchmarks:
         idx = stratified_sample(areas, n_boost, seed=cfg.seed)
         booster = AdaBoostR2(n_estimators=20, max_depth=3, seed=cfg.seed).fit(
-            params[idx], truth[name][idx]
+            params_grid[idx], truth[name][idx]
         )
-        preds[name] = booster.predict(params)
+        preds[name] = booster.predict(params_grid)
     boost_secs = time.perf_counter() - start
     boost_sims = len(benchmarks) * n_boost
     boost_quality = _avg_quality(dse, truth, preds)
@@ -129,16 +131,38 @@ def run(scale: str = "bench") -> ExperimentResult:
     metrics["perfvec_sims"] = float(pv_sims)
     metrics["exhaustive_sims"] = float(len(benchmarks) * grid_size)
 
-    return ExperimentResult(
-        experiment="table4_dse_methods",
-        title="DSE method comparison: overhead vs design quality",
-        scale=cfg.name,
-        headers=["method", "simulations", "model time", "quality (frac better)"],
-        rows=rows,
-        metrics=metrics,
-        notes=[
+    return {
+        "headers": ["method", "simulations", "model time",
+                    "quality (frac better)"],
+        "rows": rows,
+        "metrics": metrics,
+        "notes": [
             "simulations column ~ the paper's overhead hours; PerfVec's "
             "tuning cost is constant in the number of target programs",
             "paper: quality 4.4%/4.7%/3.6%/3.6% at 150h/84h/170h/11h",
         ],
-    )
+    }
+
+
+SPEC = ExperimentSpec(
+    name="table4_dse_methods",
+    title="DSE method comparison: overhead vs design quality",
+    description="Table IV — DSE method overhead/quality",
+    stages=(
+        stage("train_data", "dataset", benchmarks="updated-train"),
+        stage("foundation", "train", benchmarks="updated-train",
+              needs=("train_data",)),
+        stage("analyze", "analysis", fn="table4_dse_methods",
+              needs=("foundation",)),
+        stage("report", "report",
+              title="DSE method comparison: overhead vs design quality",
+              needs=("analyze",)),
+    ),
+)
+
+
+def run(scale: str = "bench"):
+    """Back-compat shim: one pipeline run, returning the ExperimentResult."""
+    from repro.pipeline import run_spec
+
+    return run_spec(SPEC, scale=scale).result

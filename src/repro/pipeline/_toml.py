@@ -1,0 +1,187 @@
+"""Minimal TOML reader used when :mod:`tomllib` is unavailable (< 3.11).
+
+Spec files exercise a small, regular subset of TOML — tables, arrays of
+tables, dotted headers, scalars and flat arrays — and this module parses
+exactly that subset.  On Python 3.11+ :func:`loads` delegates to the
+stdlib parser, so the fallback only ever runs on 3.10 and its behaviour
+is pinned by tests against the stdlib on newer interpreters.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+try:  # Python 3.11+
+    import tomllib as _tomllib
+except ModuleNotFoundError:  # pragma: no cover - exercised on 3.10 CI
+    _tomllib = None
+
+
+class TOMLError(ValueError):
+    """Malformed TOML input (mirrors ``tomllib.TOMLDecodeError``)."""
+
+
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _parse_key(text: str, line_no: int) -> list[str]:
+    """A (possibly dotted, possibly quoted) key into its parts."""
+    parts = []
+    for part in _split_top_level(text, ".", line_no):
+        part = part.strip()
+        if part.startswith('"') and part.endswith('"') and len(part) >= 2:
+            parts.append(part[1:-1])
+        elif _BARE_KEY.match(part):
+            parts.append(part)
+        else:
+            raise TOMLError(f"line {line_no}: invalid key {text!r}")
+    if not parts:
+        raise TOMLError(f"line {line_no}: empty key")
+    return parts
+
+
+def _split_top_level(text: str, sep: str, line_no: int) -> list[str]:
+    """Split on ``sep`` outside quotes and brackets."""
+    parts, depth, quote, start = [], 0, None, 0
+    for i, ch in enumerate(text):
+        if quote:
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "\"'":
+            quote = ch
+        elif ch in "[{":
+            depth += 1
+        elif ch in "]}":
+            depth -= 1
+            if depth < 0:
+                raise TOMLError(f"line {line_no}: unbalanced brackets")
+        elif ch == sep and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    if quote or depth:
+        raise TOMLError(f"line {line_no}: unterminated value")
+    parts.append(text[start:])
+    return parts
+
+
+def _parse_value(text: str, line_no: int):
+    text = text.strip()
+    if not text:
+        raise TOMLError(f"line {line_no}: missing value")
+    if text.startswith('"') or text.startswith("'"):
+        if len(text) < 2 or text[-1] != text[0]:
+            raise TOMLError(f"line {line_no}: unterminated string {text!r}")
+        body = text[1:-1]
+        if text[0] == "'":
+            return body
+        try:  # basic strings share JSON's escape rules closely enough
+            return json.loads(f'"{body}"')
+        except json.JSONDecodeError as exc:
+            raise TOMLError(f"line {line_no}: bad string {text!r}") from exc
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        items = _split_top_level(inner, ",", line_no)
+        if items and not items[-1].strip():  # trailing comma
+            items = items[:-1]
+        return [_parse_value(item, line_no) for item in items]
+    if text.startswith("{") and text.endswith("}"):
+        table: dict = {}
+        inner = text[1:-1].strip()
+        if not inner:
+            return table
+        for item in _split_top_level(inner, ",", line_no):
+            key, _, value = item.partition("=")
+            if not _:
+                raise TOMLError(f"line {line_no}: bad inline table {text!r}")
+            _assign(table, _parse_key(key, line_no),
+                    _parse_value(value, line_no), line_no)
+        return table
+    try:
+        cleaned = text.replace("_", "")
+        if re.fullmatch(r"[+-]?\d+", cleaned):
+            return int(cleaned)
+        return float(cleaned)
+    except ValueError:
+        raise TOMLError(f"line {line_no}: unsupported value {text!r}") from None
+
+
+def _descend(root: dict, parts: list[str], line_no: int) -> dict:
+    node = root
+    for part in parts:
+        child = node.setdefault(part, {})
+        if isinstance(child, list):  # [[x]] ... then [x.y]
+            child = child[-1]
+        if not isinstance(child, dict):
+            raise TOMLError(f"line {line_no}: {part!r} is not a table")
+        node = child
+    return node
+
+
+def _assign(node: dict, parts: list[str], value, line_no: int) -> None:
+    node = _descend(node, parts[:-1], line_no)
+    if parts[-1] in node:
+        raise TOMLError(f"line {line_no}: duplicate key {parts[-1]!r}")
+    node[parts[-1]] = value
+
+
+def _fallback_loads(text: str) -> dict:
+    root: dict = {}
+    current = root
+    lines = text.splitlines()
+    i = 0
+    while i < len(lines):
+        line_no = i + 1
+        line = lines[i].strip()
+        i += 1
+        if not line or line.startswith("#"):
+            continue
+        if line.startswith("[["):
+            if not line.endswith("]]"):
+                raise TOMLError(f"line {line_no}: bad table header {line!r}")
+            parts = _parse_key(line[2:-2], line_no)
+            parent = _descend(root, parts[:-1], line_no)
+            array = parent.setdefault(parts[-1], [])
+            if not isinstance(array, list):
+                raise TOMLError(
+                    f"line {line_no}: {parts[-1]!r} is not an array of tables"
+                )
+            current = {}
+            array.append(current)
+            continue
+        if line.startswith("["):
+            if not line.endswith("]"):
+                raise TOMLError(f"line {line_no}: bad table header {line!r}")
+            parts = _parse_key(line[1:-1], line_no)
+            current = _descend(root, parts, line_no)
+            continue
+        key, eq, value = line.partition("=")
+        if not eq:
+            raise TOMLError(f"line {line_no}: expected `key = value`: {line!r}")
+        value = value.strip()
+        # multiline array: keep consuming lines until brackets balance
+        while value.count("[") > value.count("]") and i < len(lines):
+            value += " " + lines[i].split("#", 1)[0].strip()
+            i += 1
+        if "#" in value and not value.startswith(('"', "'")):
+            value = _split_top_level(value, "#", line_no)[0].strip()
+        _assign(current, _parse_key(key, line_no),
+                _parse_value(value, line_no), line_no)
+    return root
+
+
+def loads(text: str) -> dict:
+    """Parse TOML text; raises :class:`TOMLError` on malformed input."""
+    if _tomllib is not None:
+        try:
+            return _tomllib.loads(text)
+        except _tomllib.TOMLDecodeError as exc:
+            raise TOMLError(str(exc)) from exc
+    return _fallback_loads(text)

@@ -1,0 +1,104 @@
+"""Content-addressed, resumable per-stage artifacts.
+
+Every executed stage persists its (JSON) payload under the cache root at
+``<root>/stages/<key>.json``.  The key is a hash over the stage's kind +
+version, its resolved parameters, the full scale identity and the keys
+of every upstream stage — so a change anywhere upstream transparently
+invalidates everything downstream, while an untouched prefix of the DAG
+is served from disk without executing.
+
+Heavy data never lives here: dataset stages reference the npz dataset
+cache by fingerprint and train stages reference the
+:class:`~repro.models.store.ModelStore` by artifact id.  A stage artifact
+is therefore small, diff-able provenance — what ran, with which inputs,
+producing which references.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+
+from repro.cache import stage_store_dir
+
+#: Bump when the artifact record layout changes incompatibly.
+STAGE_STORE_FORMAT = 1
+
+
+def _canonical(payload) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str).encode()
+
+
+def stage_key(
+    stage, scale, upstream_keys: dict[str, str], version: int,
+    extra: dict | None = None,
+) -> str:
+    """Content address of one stage execution.
+
+    ``extra`` carries kind-specific identity beyond the declared params —
+    the analysis kind passes its function's source fingerprint here so
+    code edits invalidate cached payloads.
+    """
+    identity = {
+        "format": STAGE_STORE_FORMAT,
+        "kind": stage.kind,
+        "kind_version": version,
+        "params": dict(stage.params),
+        "scale": dataclasses.asdict(scale),
+        "upstream": dict(sorted(upstream_keys.items())),
+    }
+    if extra:
+        identity["extra"] = extra
+    return hashlib.sha256(_canonical(identity)).hexdigest()[:16]
+
+
+class StageArtifactStore:
+    """Flat directory of ``<key>.json`` stage records."""
+
+    def __init__(self, root: str | None = None):
+        self.root = root or stage_store_dir()
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    def get(self, key: str) -> dict | None:
+        """The stored record, or ``None`` on miss/corruption (recompute)."""
+        path = self.path(key)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, encoding="utf-8") as fh:
+                record = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        if record.get("format") != STAGE_STORE_FORMAT:
+            return None
+        return record
+
+    def put(self, key: str, stage_name: str, kind: str, spec_name: str,
+            payload: dict) -> str:
+        """Persist one stage record atomically; returns its path."""
+        os.makedirs(self.root, exist_ok=True)
+        record = {
+            "format": STAGE_STORE_FORMAT,
+            "key": key,
+            "stage": stage_name,
+            "kind": kind,
+            "spec": spec_name,
+            "payload": payload,
+        }
+        path = self.path(key)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(record, fh, indent=2, default=str)
+        os.replace(tmp, path)
+        return path
+
+    def drop(self, key: str) -> None:
+        try:
+            os.remove(self.path(key))
+        except OSError:
+            pass

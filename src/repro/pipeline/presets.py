@@ -1,0 +1,52 @@
+"""The preset spec registry: every paper experiment as a pipeline spec.
+
+Importing this module imports each experiment module (registering its
+analysis function) and collects its ``SPEC``.  The registry keys are the
+historical experiment names, so ``repro run fig3_seen_unseen`` and
+``repro pipeline run fig3_seen_unseen`` execute the same DAG.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import UnknownExperimentError
+from repro.experiments import (
+    fig3_seen_unseen,
+    fig4_retrain_lbm,
+    fig5_unseen_uarch,
+    fig6_ablation_arch,
+    fig7_cache_dse,
+    fig8_loop_tiling,
+    sec4b_reuse,
+    sec5b_data_volume,
+    sec5b_features,
+    table3_comparison,
+    table4_dse_methods,
+)
+from repro.pipeline.spec import ExperimentSpec
+
+#: Spec name -> ExperimentSpec (ordered as in the paper's evaluation).
+SPECS: dict[str, ExperimentSpec] = {
+    module.SPEC.name: module.SPEC
+    for module in (
+        fig3_seen_unseen,
+        fig4_retrain_lbm,
+        fig5_unseen_uarch,
+        fig6_ablation_arch,
+        sec4b_reuse,
+        sec5b_data_volume,
+        sec5b_features,
+        table3_comparison,
+        table4_dse_methods,
+        fig7_cache_dse,
+        fig8_loop_tiling,
+    )
+}
+
+
+def get_spec(name: str) -> ExperimentSpec:
+    """A registered spec by name, or :class:`UnknownExperimentError` with
+    close-match suggestions."""
+    spec = SPECS.get(name)
+    if spec is None:
+        raise UnknownExperimentError(name, SPECS, kind="spec")
+    return spec

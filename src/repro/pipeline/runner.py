@@ -1,0 +1,373 @@
+"""The pipeline runner: execute a spec's stage DAG with artifact reuse.
+
+Execution is wave-based over the validated DAG: every stage whose
+dependencies are resolved forms a wave; waves with more than one pending
+stage fan out across processes through
+:class:`repro.runtime.ParallelMap` (each stage then simulates serially,
+exactly like the experiment runner's worker rule), single-stage waves
+run in-process with the full simulation fan-out.
+
+Before running anything, each stage's content key is checked against the
+:class:`~repro.pipeline.artifacts.StageArtifactStore`; hits return the
+stored payload without executing.  A failed stage raises
+:class:`StageFailure` *after* persisting every other completed stage of
+its wave, so a re-run resumes from the failure point instead of from
+scratch.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.pipeline.artifacts import StageArtifactStore, stage_key
+from repro.pipeline.report import ExperimentResult
+from repro.pipeline.spec import ExperimentSpec, StageSpec, SweepSpec
+from repro.pipeline.stages import STAGE_KINDS, StageContext
+
+
+class StageFailure(RuntimeError):
+    """A stage raised; carries the stage name and the (worker) traceback."""
+
+    def __init__(self, spec_name: str, stage_name: str, detail: str):
+        self.spec_name = spec_name
+        self.stage_name = stage_name
+        self.detail = detail
+        super().__init__(
+            f"pipeline {spec_name!r} failed at stage {stage_name!r}:\n{detail}"
+        )
+
+
+@dataclass(frozen=True)
+class StageOutcome:
+    """One stage of a finished run: where its payload came from."""
+
+    name: str
+    kind: str
+    key: str
+    cached: bool
+    seconds: float
+    payload: dict
+
+    def row(self) -> str:
+        state = "cached " if self.cached else "executed"
+        return f"{self.name:<20s} [{self.kind:<8s}] {state} ({self.seconds:.2f}s)"
+
+
+@dataclass
+class PipelineResult:
+    """Everything a finished pipeline run produced."""
+
+    spec_name: str
+    scale: str
+    outcomes: list[StageOutcome] = field(default_factory=list)
+    saved: list[str] = field(default_factory=list)
+
+    @property
+    def executed(self) -> int:
+        return sum(not o.cached for o in self.outcomes)
+
+    @property
+    def cached(self) -> int:
+        return sum(o.cached for o in self.outcomes)
+
+    @property
+    def fully_cached(self) -> bool:
+        return self.executed == 0
+
+    def outcome(self, name: str) -> StageOutcome:
+        for o in self.outcomes:
+            if o.name == name:
+                return o
+        from repro.core.errors import UnknownExperimentError
+
+        raise UnknownExperimentError(
+            name, [o.name for o in self.outcomes], kind="stage"
+        )
+
+    @property
+    def payload(self) -> dict:
+        """The terminal stage's payload."""
+        return self.outcomes[-1].payload if self.outcomes else {}
+
+    @property
+    def result(self) -> ExperimentResult | None:
+        """The report stage's :class:`ExperimentResult`, if the spec has one."""
+        for o in reversed(self.outcomes):
+            if o.kind == "report":
+                return ExperimentResult.from_payload(o.payload)
+        return None
+
+    def summary(self) -> str:
+        return (
+            f"pipeline {self.spec_name} (scale={self.scale}): "
+            f"{self.executed} executed, {self.cached} cached "
+            f"(of {len(self.outcomes)} stages)"
+        )
+
+    def render(self) -> str:
+        lines = [self.summary()]
+        lines += [f"  {o.row()}" for o in self.outcomes]
+        result = self.result
+        if result is not None:
+            lines.append(result.render())
+        for path in self.saved:
+            lines.append(f"saved: {path}")
+        return "\n".join(lines)
+
+
+def _stage_job(item) -> dict:
+    """Top-level (picklable) worker entry point for one stage."""
+    stage, ctx, inputs = item
+    import repro.pipeline.presets  # noqa: F401 — registers preset analyses
+
+    return STAGE_KINDS[stage.kind].run(ctx, stage, inputs)
+
+
+class Runner:
+    """Execute one :class:`ExperimentSpec` with per-stage artifact reuse.
+
+    ``jobs=None`` inherits the process-wide simulation fan-out (like the
+    legacy ``run_experiment``); an explicit value installs it for the
+    duration of the run.  ``cache_dir`` is exported process-wide (like
+    the CLI's ``--cache-dir``) so every store a stage opens — in this
+    process or a worker — resolves the same root.  ``force`` re-executes
+    every stage; ``force_stages`` re-executes just the named ones (and,
+    through key invalidation, everything downstream of them is *not*
+    invalidated — their inputs did not change — so forcing is cheap).
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        scale: str | None = None,
+        cache_dir: str | None = None,
+        results_dir: str | None = None,
+        jobs: int | None = None,
+        save: bool = False,
+        force: bool = False,
+        force_stages: tuple[str, ...] = (),
+        store: StageArtifactStore | None = None,
+        progress=None,
+    ):
+        from repro.experiments.common import get_scale
+
+        self.spec = spec
+        self.scale = get_scale(scale or spec.scale or "bench")
+        self.cache_dir = cache_dir
+        self.results_dir = results_dir
+        self.jobs = jobs
+        self.save = save
+        self.force = force
+        self.force_stages = tuple(force_stages)
+        for name in self.force_stages:
+            spec.stage(name)  # fail fast with suggestions
+        self._store = store
+        self.progress = progress
+
+    @property
+    def store(self) -> StageArtifactStore:
+        if self._store is None:
+            self._store = StageArtifactStore()
+        return self._store
+
+    def _context(self, inner_jobs: int) -> StageContext:
+        return StageContext(
+            scale=self.scale,
+            spec_name=self.spec.name,
+            cache_dir=self.cache_dir,
+            results_dir=self.results_dir,
+            jobs=inner_jobs,
+        )
+
+    def _forced(self, stage: StageSpec) -> bool:
+        return self.force or stage.name in self.force_stages
+
+    def run(self) -> PipelineResult:
+        import os
+
+        from repro.cache import CACHE_DIR_ENV, set_cache_root
+        from repro.experiments.common import get_default_jobs, set_default_jobs
+        from repro.runtime import resolve_jobs
+
+        # cache_dir is exported as REPRO_CACHE_DIR so worker processes and
+        # the common-helper stores resolve the same root — but only for
+        # the duration of this run, like the jobs override below
+        previous_root = os.environ.get(CACHE_DIR_ENV)
+        set_cache_root(self.cache_dir)
+        previous_jobs = None
+        if self.jobs is not None:
+            previous_jobs = set_default_jobs(self.jobs)
+        try:
+            resolved_jobs = (
+                resolve_jobs(self.jobs) if self.jobs is not None
+                else get_default_jobs()
+            )
+            return self._run(resolved_jobs)
+        finally:
+            if previous_jobs is not None:
+                set_default_jobs(previous_jobs)
+            if self.cache_dir:
+                if previous_root is None:
+                    os.environ.pop(CACHE_DIR_ENV, None)
+                else:
+                    os.environ[CACHE_DIR_ENV] = previous_root
+
+    def _run(self, resolved_jobs: int) -> PipelineResult:
+        result = PipelineResult(spec_name=self.spec.name, scale=self.scale.name)
+        keys: dict[str, str] = {}
+        payloads: dict[str, dict] = {}
+        done: dict[str, StageOutcome] = {}
+
+        pending = list(self.spec.stages)
+        while pending:
+            wave = [s for s in pending if all(n in done for n in s.needs)]
+            assert wave, "spec validation guarantees progress"
+            to_execute: list[StageSpec] = []
+            for stage in wave:
+                extra = None
+                if stage.kind == "analysis":
+                    from repro.pipeline.stages import analysis_fingerprint
+
+                    extra = {
+                        "fn_source": analysis_fingerprint(stage.params["fn"])
+                    }
+                key = stage_key(
+                    stage, self.scale,
+                    {n: keys[n] for n in stage.needs},
+                    STAGE_KINDS[stage.kind].version,
+                    extra=extra,
+                )
+                keys[stage.name] = key
+                record = None if self._forced(stage) else self.store.get(key)
+                if record is not None:
+                    outcome = StageOutcome(
+                        name=stage.name, kind=stage.kind, key=key,
+                        cached=True, seconds=0.0, payload=record["payload"],
+                    )
+                    done[stage.name] = outcome
+                    payloads[stage.name] = outcome.payload
+                    self._report(outcome)
+                else:
+                    to_execute.append(stage)
+            if to_execute:
+                self._execute_wave(to_execute, keys, payloads, done,
+                                   resolved_jobs)
+            pending = [s for s in pending if s.name not in done]
+
+        result.outcomes = [done[s.name] for s in self.spec.stages]
+        if self.save:
+            for outcome in result.outcomes:
+                if outcome.kind == "report":
+                    saved = ExperimentResult.from_payload(outcome.payload)
+                    result.saved.append(saved.save(self.results_dir))
+        return result
+
+    def _execute_wave(
+        self,
+        stages: list[StageSpec],
+        keys: dict[str, str],
+        payloads: dict[str, dict],
+        done: dict[str, StageOutcome],
+        resolved_jobs: int,
+    ) -> None:
+        from repro.runtime import ParallelMap
+
+        parallel = resolved_jobs > 1 and len(stages) > 1
+        inner_jobs = 1 if parallel else resolved_jobs
+        ctx = self._context(inner_jobs)
+        items = [
+            (stage, ctx, {n: payloads[n] for n in stage.needs})
+            for stage in stages
+        ]
+        start = time.perf_counter()
+        if parallel:
+            pool = ParallelMap(jobs=min(resolved_jobs, len(stages)),
+                               chunksize=1, progress=self.progress)
+            results = pool.map(
+                _stage_job, items, return_errors=True,
+                labels=[s.name for s in stages],
+            )
+        else:
+            results = [self._run_inline(item) for item in items]
+        elapsed = time.perf_counter() - start
+        failure: tuple[str, str] | None = None
+        for stage, res in zip(stages, results):
+            if res.error is not None:
+                if failure is None:
+                    failure = (stage.name, res.error)
+                continue
+            key = keys[stage.name]
+            self.store.put(key, stage.name, stage.kind, self.spec.name,
+                           res.value)
+            outcome = StageOutcome(
+                name=stage.name, kind=stage.kind, key=key, cached=False,
+                seconds=elapsed / max(len(stages), 1), payload=res.value,
+            )
+            done[stage.name] = outcome
+            payloads[stage.name] = res.value
+            self._report(outcome)
+        if failure is not None:
+            raise StageFailure(self.spec.name, failure[0], failure[1])
+
+    def _run_inline(self, item):
+        """Serial execution with the same error envelope as the pool."""
+        import traceback
+
+        from repro.runtime.pool import JobResult
+
+        try:
+            return JobResult(index=0, value=_stage_job(item))
+        except Exception:
+            return JobResult(index=0, error=traceback.format_exc())
+
+    def _report(self, outcome: StageOutcome) -> None:
+        if self.progress is not None and hasattr(self.progress, "stream"):
+            self.progress.stream.write(f"{outcome.row()}\n")
+
+
+# ---------------------------------------------------------------------------
+# convenience entry points
+# ---------------------------------------------------------------------------
+def run_spec(
+    spec: ExperimentSpec | str,
+    scale: str | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    results_dir: str | None = None,
+    save: bool = False,
+    force: bool = False,
+) -> PipelineResult:
+    """Run one spec (by object or registered name)."""
+    if isinstance(spec, str):
+        from repro.pipeline.presets import get_spec
+
+        spec = get_spec(spec)
+    return Runner(
+        spec, scale=scale, jobs=jobs, cache_dir=cache_dir,
+        results_dir=results_dir, save=save, force=force,
+    ).run()
+
+
+def run_sweep(
+    sweep: SweepSpec,
+    scale: str | None = None,
+    jobs: int | None = None,
+    cache_dir: str | None = None,
+    results_dir: str | None = None,
+    save: bool = False,
+    force: bool = False,
+) -> list[PipelineResult]:
+    """Run every scenario of a sweep grid, in expansion order.
+
+    Scenarios share stage artifacts wherever their grid point leaves a
+    stage's parameters (and upstream) untouched, so a sweep's cost is
+    proportional to what actually varies.
+    """
+    return [
+        Runner(
+            scenario, scale=scale, jobs=jobs, cache_dir=cache_dir,
+            results_dir=results_dir, save=save, force=force,
+        ).run()
+        for scenario in sweep.expand()
+    ]

@@ -1,0 +1,356 @@
+"""Built-in stage kinds and the analysis-function registry.
+
+A stage kind is a typed unit of pipeline work: it declares the parameter
+names it accepts (unknown parameters are a spec error with suggestions),
+a version (bump to invalidate cached artifacts when semantics change)
+and a run function ``(ctx, stage, inputs) -> payload``.
+
+Stage payloads are **JSON-serializable references, not heavyweight
+objects**: a ``dataset`` stage materializes trace simulations into the
+npz dataset cache and returns the dataset's fingerprint; a ``train``
+stage materializes a model into the :class:`~repro.models.store.ModelStore`
+and returns the artifact id.  Downstream stages re-open those stores —
+which makes every stage restartable, parallelizable across processes and
+resumable from its on-disk artifact alone.
+
+Built-in kinds::
+
+    dataset   warm the (benchmarks x configs) simulation cache
+    train     train-or-reuse a model artifact in the ModelStore
+    evaluate  stored-model error vs simulated ground truth
+    predict   batched feature-stream serving through a stored model
+    analysis  a registered analysis function (the bespoke figure logic)
+    report    assemble the ExperimentResult payload (and optionally save)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Mapping
+
+from repro.core.errors import UnknownExperimentError
+
+if TYPE_CHECKING:  # import cycle: experiments.common re-exports our report
+    from repro.experiments.common import ScaleConfig
+
+
+@dataclass(frozen=True)
+class StageContext:
+    """Everything a stage run needs besides its params and inputs.
+
+    Picklable by construction so stages can execute in worker processes.
+    ``jobs`` is the simulation fan-out *within* this stage (the runner
+    sets it to 1 when stages themselves run concurrently).
+    """
+
+    scale: ScaleConfig
+    spec_name: str
+    cache_dir: str | None = None
+    results_dir: str | None = None
+    jobs: int = 1
+
+
+@dataclass(frozen=True)
+class StageKind:
+    """A registered stage type: allowed params + executable behaviour."""
+
+    kind: str
+    run: Callable[[StageContext, "StageSpec", dict], dict]  # noqa: F821
+    params: frozenset = frozenset()
+    required: frozenset = frozenset()
+    #: free-form extras allowed (analysis fns take arbitrary params)
+    open_params: bool = False
+    version: int = 1
+
+
+STAGE_KINDS: dict[str, StageKind] = {}
+
+#: Registered analysis callables: name -> fn(ctx, params, inputs) -> dict.
+ANALYSES: dict[str, Callable] = {}
+
+
+def register_kind(kind: StageKind) -> StageKind:
+    STAGE_KINDS[kind.kind] = kind
+    return kind
+
+
+def analysis(name: str):
+    """Decorator registering a pipeline analysis function under ``name``."""
+
+    def register(fn: Callable) -> Callable:
+        ANALYSES[name] = fn
+        return fn
+
+    return register
+
+
+def analysis_fingerprint(name: str) -> str:
+    """Content hash of a registered analysis function's source.
+
+    Part of every analysis stage's artifact key, so editing an analysis
+    function automatically invalidates its cached payloads — no manual
+    version bump, no ``--force`` needed after a code change.  (Edits to
+    helpers the function *calls* are not seen; force those runs.)
+    """
+    import hashlib
+    import inspect
+
+    fn = ANALYSES.get(name)
+    if fn is None:
+        import repro.pipeline.presets  # noqa: F401 — registers presets
+
+        fn = ANALYSES.get(name)
+    if fn is None:
+        # let the stage execution raise the suggestion-bearing error
+        return "unregistered"
+    try:
+        source = inspect.getsource(fn)
+    except (OSError, TypeError):
+        source = fn.__code__.co_code.hex()
+    return hashlib.sha256(source.encode()).hexdigest()[:16]
+
+
+def validate_stage_params(spec_name: str, stage) -> None:
+    """Reject unknown/missing stage parameters at spec-build time."""
+    kind = STAGE_KINDS[stage.kind]
+    missing = kind.required - set(stage.params)
+    if missing:
+        raise_spec_error(
+            f"spec {spec_name!r}: stage {stage.name!r} ({stage.kind}) is "
+            f"missing required parameter(s) {sorted(missing)}"
+        )
+    if not kind.open_params:
+        unknown = set(stage.params) - kind.params
+        if unknown:
+            raise_spec_error(
+                f"spec {spec_name!r}: stage {stage.name!r} ({stage.kind}) "
+                f"got unknown parameter(s) {sorted(unknown)}; "
+                f"allowed: {sorted(kind.params)}"
+            )
+
+
+def raise_spec_error(message: str) -> None:
+    from repro.pipeline.spec import SpecError
+
+    raise SpecError(message)
+
+
+# ---------------------------------------------------------------------------
+# shared resolution helpers
+# ---------------------------------------------------------------------------
+#: Named benchmark splits usable wherever a spec takes ``benchmarks``.
+BENCHMARK_ALIASES = ("train", "test", "all", "updated-train", "updated-test")
+
+
+def resolve_benchmarks(value) -> tuple[str, ...]:
+    """A spec's ``benchmarks`` value (alias or explicit list) to names."""
+    from repro.workloads import ALL_BENCHMARKS, TEST_BENCHMARKS, TRAIN_BENCHMARKS
+
+    if isinstance(value, str):
+        if value == "train":
+            return tuple(TRAIN_BENCHMARKS)
+        if value == "test":
+            return tuple(TEST_BENCHMARKS)
+        if value == "all":
+            return tuple(ALL_BENCHMARKS)
+        if value in ("updated-train", "updated-test"):
+            from repro.experiments.fig4_retrain_lbm import (
+                UPDATED_TEST,
+                UPDATED_TRAIN,
+            )
+
+            return tuple(UPDATED_TRAIN if value == "updated-train" else UPDATED_TEST)
+        raise UnknownExperimentError(
+            value, BENCHMARK_ALIASES, kind="benchmark alias"
+        )
+    return tuple(value)
+
+
+def resolve_configs(ctx: StageContext, stage) -> list:
+    """The stage's microarchitecture list (``seen``/``unseen`` source)."""
+    from repro.experiments.common import seen_configs, unseen_configs
+
+    source = stage.params.get("configs", "seen")
+    if source == "seen":
+        return seen_configs(ctx.scale)
+    if source == "unseen":
+        return unseen_configs(ctx.scale, int(stage.params.get("count", 10)))
+    raise UnknownExperimentError(
+        source, ("seen", "unseen"), kind="config source"
+    )
+
+
+def _model_artifact(stage, inputs: Mapping) -> str:
+    """The model artifact id produced by this stage's upstream train stage."""
+    for need in stage.needs:
+        payload = inputs.get(need) or {}
+        if "artifact" in payload:
+            return payload["artifact"]
+    raise_spec_error(
+        f"stage {stage.name!r} ({stage.kind}) needs an upstream 'train' "
+        "stage providing a model artifact"
+    )
+
+
+# ---------------------------------------------------------------------------
+# built-in kinds
+# ---------------------------------------------------------------------------
+def _run_dataset(ctx: StageContext, stage, inputs) -> dict:
+    from repro.experiments.common import benchmark_dataset
+
+    benchmarks = resolve_benchmarks(stage.params["benchmarks"])
+    configs = resolve_configs(ctx, stage)
+    instructions = stage.params.get("instructions")
+    ds = benchmark_dataset(
+        ctx.scale, benchmarks, configs=configs, instructions=instructions
+    )
+    return {
+        "benchmarks": list(benchmarks),
+        "config_names": list(ds.config_names),
+        "rows": len(ds),
+        "fingerprint": ds.fingerprint(),
+    }
+
+
+def _run_train(ctx: StageContext, stage, inputs) -> dict:
+    family = stage.params.get("family", "perfvec")
+    benchmarks = resolve_benchmarks(stage.params["benchmarks"])
+    if family == "perfvec":
+        from repro.experiments.common import trained_artifact
+
+        artifact = trained_artifact(
+            ctx.scale, benchmarks,
+            spec=stage.params.get("arch"),
+            epochs=stage.params.get("epochs"),
+        )
+        return {"artifact": artifact, "family": family}
+    # other families ride the Session train-or-reuse path
+    from repro.api import Session
+
+    session = Session(scale=ctx.scale, cache_dir=ctx.cache_dir, jobs=ctx.jobs)
+    result = session.train(
+        family=family, benchmarks=benchmarks, evaluate=False
+    )
+    return {"artifact": result.artifact_id, "family": family,
+            "reused": result.reused}
+
+
+def _run_evaluate(ctx: StageContext, stage, inputs) -> dict:
+    from repro.api import Session
+
+    benchmarks = resolve_benchmarks(stage.params["benchmarks"])
+    artifact = _model_artifact(stage, inputs)
+    session = Session(scale=ctx.scale, cache_dir=ctx.cache_dir, jobs=ctx.jobs)
+    errors = session.evaluate(benchmarks, artifact=artifact)
+    rows = [
+        [name, f"{s.mean:.1%}", f"{s.std:.1%}", f"{s.min:.1%}", f"{s.max:.1%}"]
+        for name, s in errors.items()
+    ]
+    means = [s.mean for s in errors.values()]
+    return {
+        "title": f"Stored-model error ({len(benchmarks)} benchmarks)",
+        "headers": ["benchmark", "mean", "std", "min", "max"],
+        "rows": rows,
+        "metrics": {"avg_error": sum(means) / len(means)},
+        "artifact": artifact,
+    }
+
+
+def _run_predict(ctx: StageContext, stage, inputs) -> dict:
+    from repro.api import Session
+
+    benchmarks = resolve_benchmarks(stage.params["benchmarks"])
+    artifact = _model_artifact(stage, inputs)
+    session = Session(scale=ctx.scale, cache_dir=ctx.cache_dir, jobs=ctx.jobs)
+    times = session.predict_many(benchmarks, artifact=artifact)
+    rows = [
+        [name, len(per_config), float(min(per_config.values())),
+         float(max(per_config.values()))]
+        for name, per_config in times.items()
+    ]
+    return {
+        "title": f"Predicted times ({len(benchmarks)} benchmarks)",
+        "headers": ["benchmark", "configs", "min ticks", "max ticks"],
+        "rows": rows,
+        "metrics": {},
+        "times": {k: dict(v) for k, v in times.items()},
+        "artifact": artifact,
+    }
+
+
+def _run_analysis(ctx: StageContext, stage, inputs) -> dict:
+    name = stage.params["fn"]
+    fn = ANALYSES.get(name)
+    if fn is None:
+        # specs loaded from files reference preset analyses by name
+        # without importing the defining module; pull them in once
+        import repro.pipeline.presets  # noqa: F401
+
+        fn = ANALYSES.get(name)
+    if fn is None:
+        raise UnknownExperimentError(name, ANALYSES, kind="analysis")
+    params = {k: v for k, v in stage.params.items() if k != "fn"}
+    out = fn(ctx, params, inputs)
+    if "rows" not in out:
+        raise_spec_error(
+            f"analysis {name!r} returned no 'rows' (got {sorted(out)})"
+        )
+    return out
+
+
+def _run_report(ctx: StageContext, stage, inputs) -> dict:
+    from repro.pipeline.report import ExperimentResult
+
+    source = None
+    for need in stage.needs:
+        payload = inputs.get(need) or {}
+        if "rows" in payload:
+            source = payload
+            break
+    if source is None:
+        raise_spec_error(
+            f"report stage {stage.name!r} needs an upstream stage that "
+            "produced rows (analysis/evaluate/predict)"
+        )
+    result = ExperimentResult(
+        experiment=stage.params.get("experiment", ctx.spec_name),
+        title=stage.params.get("title") or source.get("title", ctx.spec_name),
+        scale=ctx.scale.name,
+        headers=list(source.get("headers", [])),
+        rows=list(source["rows"]),
+        notes=list(source.get("notes", [])),
+        metrics=dict(source.get("metrics", {})),
+    )
+    return result.payload()
+
+
+register_kind(StageKind(
+    kind="dataset", run=_run_dataset,
+    params=frozenset({"benchmarks", "configs", "count", "instructions"}),
+    required=frozenset({"benchmarks"}),
+))
+register_kind(StageKind(
+    kind="train", run=_run_train,
+    params=frozenset({"benchmarks", "family", "arch", "epochs"}),
+    required=frozenset({"benchmarks"}),
+))
+register_kind(StageKind(
+    kind="evaluate", run=_run_evaluate,
+    params=frozenset({"benchmarks"}),
+    required=frozenset({"benchmarks"}),
+))
+register_kind(StageKind(
+    kind="predict", run=_run_predict,
+    params=frozenset({"benchmarks"}),
+    required=frozenset({"benchmarks"}),
+))
+register_kind(StageKind(
+    kind="analysis", run=_run_analysis,
+    params=frozenset({"fn"}),
+    required=frozenset({"fn"}),
+    open_params=True,
+))
+register_kind(StageKind(
+    kind="report", run=_run_report,
+    params=frozenset({"experiment", "title"}),
+))

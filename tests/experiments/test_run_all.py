@@ -70,7 +70,11 @@ def test_run_all_save_writes_results_incrementally(tmp_path, monkeypatch):
     import os
 
     monkeypatch.chdir(tmp_path)
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
     outcomes = run_all(names=["sec4b_reuse"], scale="smoke", jobs=1, save=True)
     assert outcomes[0].ok
-    # saved by the worker as the experiment finished, not by the caller
-    assert os.path.exists("results/sec4b_reuse_smoke.json")
+    # saved by the worker as the experiment finished, not by the caller —
+    # results follow the cache root (satellite: no hardcoded ./results)
+    assert os.path.exists(str(tmp_path / "cache/results/sec4b_reuse_smoke.json"))
+    assert not os.path.exists("results")

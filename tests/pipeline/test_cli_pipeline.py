@@ -1,0 +1,121 @@
+"""`repro pipeline` CLI verbs."""
+
+import pytest
+
+from repro.cli import main
+
+SPEC_TOML = """
+name = "cli_scenario"
+title = "CLI scenario"
+scale = "smoke"
+
+[[stage]]
+name = "data"
+kind = "dataset"
+benchmarks = ["999.specrand"]
+
+[[stage]]
+name = "model"
+kind = "train"
+needs = ["data"]
+benchmarks = ["999.specrand"]
+
+[[stage]]
+name = "eval"
+kind = "evaluate"
+needs = ["model"]
+benchmarks = ["999.specrand"]
+
+[[stage]]
+name = "report"
+kind = "report"
+needs = ["eval"]
+"""
+
+SWEEP_TOML = SPEC_TOML + """
+[sweep.matrix]
+"model.epochs" = [1, 2]
+"""
+
+
+@pytest.fixture
+def env(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_RESULTS_DIR", raising=False)
+    return tmp_path
+
+
+def test_pipeline_list(capsys):
+    assert main(["pipeline", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "fig3_seen_unseen" in out
+    assert "report" in out
+
+
+def test_pipeline_run_requires_spec(capsys):
+    assert main(["pipeline", "run"]) == 2
+    assert "usage:" in capsys.readouterr().out
+
+
+def test_pipeline_run_unknown_spec_suggests(env):
+    from repro.core.errors import UnknownExperimentError
+
+    with pytest.raises(UnknownExperimentError, match="unknown spec"):
+        main(["pipeline", "run", "fig3_seen_unsen", "--scale", "smoke"])
+
+
+def test_pipeline_run_toml_then_full_cache_hit(env, capsys):
+    spec = env / "scenario.toml"
+    spec.write_text(SPEC_TOML)
+    cache = str(env / "cache")
+    args = ["--jobs", "1", "--cache-dir", cache]
+
+    assert main(["pipeline", "run", str(spec), *args]) == 0
+    out = capsys.readouterr().out
+    assert "4 executed, 0 cached" in out
+    assert "cli_scenario" in out
+
+    # the CI contract: a repeat run executes nothing
+    assert main(["pipeline", "run", str(spec), *args]) == 0
+    assert "0 executed, 4 cached" in capsys.readouterr().out
+
+
+def test_pipeline_run_save_and_results_dir(env, capsys):
+    spec = env / "scenario.toml"
+    spec.write_text(SPEC_TOML)
+    results = env / "resdir"
+    assert main(["pipeline", "run", str(spec), "--jobs", "1", "--save",
+                 "--cache-dir", str(env / "cache"),
+                 "--results-dir", str(results)]) == 0
+    out = capsys.readouterr().out
+    assert "saved:" in out
+    assert (results / "cli_scenario_smoke.json").exists()
+
+
+def test_pipeline_sweep_runs_every_scenario(env, capsys):
+    spec = env / "sweep.toml"
+    spec.write_text(SWEEP_TOML)
+    assert main(["pipeline", "sweep", str(spec), "--jobs", "1",
+                 "--cache-dir", str(env / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "2 scenario(s)" in out
+    assert "cli_scenario__epochs=1" in out
+    assert "cli_scenario__epochs=2" in out
+    # the dataset stage is shared across scenarios: 8 stage runs, 7 executions
+    assert "sweep total: 7 executed, 1 cached" in out
+
+
+def test_pipeline_sweep_on_plain_spec_errors(env, capsys):
+    spec = env / "scenario.toml"
+    spec.write_text(SPEC_TOML)
+    assert main(["pipeline", "sweep", str(spec), "--jobs", "1"]) == 2
+    assert "declares no [sweep.matrix]" in capsys.readouterr().out
+
+
+def test_pipeline_run_on_sweep_file_runs_base(env, capsys):
+    spec = env / "sweep.toml"
+    spec.write_text(SWEEP_TOML)
+    assert main(["pipeline", "run", str(spec), "--jobs", "1",
+                 "--cache-dir", str(env / "cache")]) == 0
+    assert "cli_scenario" in capsys.readouterr().out

@@ -1,0 +1,92 @@
+"""SweepSpec grid expansion and cross-scenario artifact sharing."""
+
+import pytest
+
+from repro.pipeline import (
+    ExperimentSpec,
+    SpecError,
+    SweepSpec,
+    stage,
+)
+
+
+def _base():
+    return ExperimentSpec(
+        name="base",
+        scale="smoke",
+        stages=(
+            stage("data", "dataset", benchmarks=["999.specrand"],
+                  instructions=100),
+            stage("model", "train", benchmarks=["999.specrand"],
+                  needs=("data",)),
+        ),
+    )
+
+
+def test_expand_cartesian_product_and_names():
+    sweep = SweepSpec(base=_base(), matrix={
+        "data.instructions": (100, 200),
+        "model.epochs": (1, 2, 3),
+    })
+    scenarios = sweep.expand()
+    assert len(sweep) == 6
+    assert len(scenarios) == 6
+    names = [s.name for s in scenarios]
+    assert len(set(names)) == 6
+    assert all(n.startswith("base__") for n in names)
+    # every scenario carries its own grid point
+    points = {
+        (s.stage("data").params["instructions"],
+         s.stage("model").params["epochs"])
+        for s in scenarios
+    }
+    assert points == {(i, e) for i in (100, 200) for e in (1, 2, 3)}
+
+
+def test_empty_axis_expands_to_zero_scenarios_and_is_rejected():
+    with pytest.raises(SpecError, match="zero scenarios"):
+        SweepSpec(base=_base(), matrix={"data.instructions": ()})
+
+
+def test_empty_matrix_rejected():
+    with pytest.raises(SpecError, match="empty matrix"):
+        SweepSpec(base=_base(), matrix={})
+
+
+def test_axis_must_name_existing_stage():
+    from repro.core.errors import UnknownExperimentError
+
+    with pytest.raises(UnknownExperimentError):
+        SweepSpec(base=_base(), matrix={"nope.x": (1,)})
+    with pytest.raises(SpecError, match="'<stage>.<param>'"):
+        SweepSpec(base=_base(), matrix={"bare": (1,)})
+
+
+def test_scale_axis_allowed():
+    sweep = SweepSpec(base=_base(), matrix={"scale": ("smoke", "bench")})
+    scales = [s.scale for s in sweep.expand()]
+    assert scales == ["bench", "smoke"] or scales == ["smoke", "bench"]
+
+
+def test_sweep_scenarios_share_untouched_stage_keys():
+    """A sweep axis on the train stage leaves the dataset stage's artifact
+    key unchanged across scenarios — the sharing that makes sweeps cheap."""
+    from repro.experiments.common import get_scale
+    from repro.pipeline.artifacts import stage_key
+    from repro.pipeline.stages import STAGE_KINDS
+
+    sweep = SweepSpec(base=_base(), matrix={"model.epochs": (1, 2)})
+    scale = get_scale("smoke")
+    keys = []
+    for scenario in sweep.expand():
+        data = scenario.stage("data")
+        keys.append(stage_key(data, scale, {},
+                              STAGE_KINDS[data.kind].version))
+    assert keys[0] == keys[1]
+    # ...while the swept stage's key differs
+    model_keys = [
+        stage_key(s.stage("model"), scale, {"data": keys[0]},
+                  STAGE_KINDS["train"].version)
+        for s in sweep.expand()
+    ]
+    assert model_keys[0] != model_keys[1]

@@ -1,0 +1,73 @@
+"""The minimal TOML fallback parser (used on Python < 3.11).
+
+The fallback's behaviour is pinned against the stdlib parser on 3.11+,
+so both code paths accept the same spec-file subset.
+"""
+
+import pytest
+
+from repro.pipeline._toml import TOMLError, _fallback_loads, loads
+
+SPEC_TEXT = """
+# a full spec-file shaped document
+name = "demo"
+title = "Demo spec"
+scale = "smoke"
+
+[[stage]]
+name = "data"
+kind = "dataset"
+benchmarks = ["999.specrand", "505.mcf"]
+instructions = 2000
+
+[[stage]]
+name = "model"
+kind = "train"
+needs = ["data"]
+epochs = 2
+
+[sweep.matrix]
+"model.arch" = ["lstm-1-8", "gru-1-8"]
+"""
+
+
+def test_fallback_matches_stdlib_on_spec_files():
+    try:
+        import tomllib
+    except ModuleNotFoundError:
+        pytest.skip("no stdlib parser to compare against")
+    assert _fallback_loads(SPEC_TEXT) == tomllib.loads(SPEC_TEXT)
+
+
+def test_fallback_scalars_and_arrays():
+    data = _fallback_loads(
+        'a = 1\nb = 2.5\nc = true\nd = false\ne = "x"\nf = [1, 2, 3]\n'
+        "g = [\n  1,\n  2,\n]\nh = { x = 1, y = 2 }\ni = 1_000\n"
+    )
+    assert data == {
+        "a": 1, "b": 2.5, "c": True, "d": False, "e": "x",
+        "f": [1, 2, 3], "g": [1, 2], "h": {"x": 1, "y": 2}, "i": 1000,
+    }
+
+
+def test_fallback_tables_and_dotted_headers():
+    data = _fallback_loads("[a.b]\nx = 1\n[a.c]\ny = 2\n")
+    assert data == {"a": {"b": {"x": 1}, "c": {"y": 2}}}
+
+
+@pytest.mark.parametrize("text", [
+    "key",                      # no assignment
+    'a = "unterminated',        # bad string
+    "a = [1, 2",                # unbalanced bracket
+    "[table\nx = 1",            # bad header
+    "a = 1\na = 2",             # duplicate key
+    "a = nonsense",             # unsupported value
+])
+def test_fallback_rejects_malformed(text):
+    with pytest.raises(TOMLError):
+        _fallback_loads(text)
+
+
+def test_loads_raises_tomlerror_not_decodeerror():
+    with pytest.raises(TOMLError):
+        loads("a = [1,")
