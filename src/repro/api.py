@@ -35,7 +35,11 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.cache import dataset_cache_dir, model_store_dir
-from repro.core.errors import ErrorSummary, UnknownBenchmarkError
+from repro.core.errors import (
+    ErrorSummary,
+    PredictionError,
+    UnknownBenchmarkError,
+)
 from repro.experiments.common import ScaleConfig, get_scale
 from repro.features.dataset import (
     DEFAULT_CACHE_DIR,
@@ -236,21 +240,69 @@ class Session:
                 self._features[benchmark] = stream
         return stream
 
+    def serve_request(
+        self,
+        model: PerformanceModel,
+        benchmark: str,
+        features: np.ndarray | None = None,
+        signature_times=None,
+    ) -> PredictRequest:
+        """A :class:`PredictRequest` carrying exactly what ``model`` needs.
+
+        The family's :attr:`~repro.models.base.PerformanceModel.serve_inputs`
+        declares its serving inputs: feature streams come from this
+        session's cache (or a caller-prefetched ``features`` array — the
+        serving layer's LRU), trace lengths from the session's scale, and
+        signature-configuration times from the caller (the cross-program
+        baseline's measured inputs).  Benchmark names are validated here,
+        before any feature work.
+        """
+        if benchmark not in BENCHMARKS:
+            raise UnknownBenchmarkError(benchmark, ALL_BENCHMARKS)
+        needs = model.serve_inputs
+        kwargs: dict = {}
+        if "features" in needs:
+            kwargs["features"] = (
+                features if features is not None else self.features(benchmark)
+            )
+        if "length" in needs:
+            kwargs["n_instructions"] = self.scale.instructions
+        if "signature_times" in needs:
+            if signature_times is None:
+                raise PredictionError(
+                    f"family {model.family!r} predicts from measured "
+                    f"signature-configuration times; pass signature_times "
+                    f"for {benchmark!r}"
+                )
+            kwargs["signature_times"] = np.asarray(
+                signature_times, dtype=np.float64
+            )
+        return PredictRequest(benchmark=benchmark, **kwargs)
+
     def predict(
         self,
         benchmark: str,
         config: str | None = None,
         artifact: str | None = None,
         family: str = "perfvec",
+        signature_times=None,
     ) -> dict[str, float] | float:
         """Predicted total execution time (0.1 ns ticks) for ``benchmark``.
 
-        Pure serving: the benchmark's cached feature stream (no
-        simulation) through a stored model, for every microarchitecture
-        it knows — or just ``config``.
+        Pure serving: a stored model answers from its serving inputs (no
+        simulation), for every microarchitecture it knows — or just
+        ``config``.  Every family serves: ``perfvec`` from the cached
+        feature stream, the trace-walking baselines from the scale's
+        deterministic trace, the per-program baselines from fitted
+        state, and ``cross_program`` from caller-measured
+        ``signature_times``.
         """
         times = self.predict_many(
-            [benchmark], artifact=artifact, family=family
+            [benchmark], artifact=artifact, family=family,
+            signature_times=(
+                None if signature_times is None
+                else {benchmark: signature_times}
+            ),
         )[benchmark]
         if config is not None:
             return times[config]
@@ -261,23 +313,21 @@ class Session:
         benchmarks: tuple[str, ...] | list[str],
         artifact: str | None = None,
         family: str = "perfvec",
+        signature_times: dict | None = None,
     ) -> dict[str, dict[str, float]]:
         """Batched serving: every benchmark through **one** engine pass.
 
-        Returns ``{benchmark: {config name: predicted ticks}}``. Only
-        families with a feature-stream serving path (``perfvec``)
-        support this; others need simulated inputs and go through
-        :meth:`evaluate`.
+        Returns ``{benchmark: {config name: predicted ticks}}``.
+        ``signature_times`` maps benchmark name to its measured times on
+        the signature configurations (required by ``cross_program``
+        only).
         """
         model = self.model(artifact, family)
-        if not hasattr(model, "predict_features"):
-            raise TypeError(
-                f"family {model.family!r} has no feature-stream serving "
-                "path; use Session.evaluate() for simulation-based "
-                "comparisons"
-            )
+        signature_times = signature_times or {}
         requests = [
-            PredictRequest(benchmark=name, features=self.features(name))
+            self.serve_request(
+                model, name, signature_times=signature_times.get(name)
+            )
             for name in benchmarks
         ]
         results = model.predict_batch(requests)

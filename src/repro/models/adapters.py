@@ -116,6 +116,7 @@ class PerfVecModel(PerformanceModel):
         "arch", "chunk_len", "batch_size", "epochs", "lr", "lr_step",
         "lr_gamma", "seed",
     )
+    serve_inputs = ("features",)
 
     def __init__(self, arch: str = "lstm-2-256", chunk_len: int = 64,
                  batch_size: int = 16, epochs: int = 50, lr: float = 1e-3,
@@ -171,11 +172,20 @@ class PerfVecModel(PerformanceModel):
     def _predict_batch(
         self, requests: list[PredictRequest]
     ) -> list[np.ndarray]:
-        # every unique stream rides one batched no-grad engine pass
+        # one no-grad engine pass per *unique* stream (duplicates
+        # coalesce onto it).  Chunk batching stays within a stream on
+        # purpose: packing chunks of co-batched requests into shared
+        # BLAS calls makes results depend on traffic composition at the
+        # ULP level, and serving promises answers bitwise identical to
+        # the solo path no matter what else is in the batch.
         streams, rows = coalesce_streams(requests)
-        times = self.perfvec.predict_many_program_times(
-            streams, chunk_len=self.chunk_len, batch_size=self.infer_batch
-        )
+        times = [
+            self.perfvec.predict_many_program_times(
+                [stream], chunk_len=self.chunk_len,
+                batch_size=self.infer_batch,
+            )[0]
+            for stream in streams
+        ]
         return [times[row] for row in rows]
 
     def predict_features(self, features: np.ndarray) -> np.ndarray:
@@ -214,6 +224,7 @@ class IthemalAdapter(_BaselineAdapter):
         "config_name", "embed_dim", "hidden", "epochs", "batch_size", "lr",
         "seed", "max_block_len", "trace_seed",
     )
+    serve_inputs = ("length",)
 
     def __init__(self, config_name: str | None = None, embed_dim: int = 8,
                  hidden: int = 16, epochs: int = 4, batch_size: int = 64,
@@ -299,6 +310,7 @@ class SimNetAdapter(_BaselineAdapter):
         "config_name", "hidden", "layers", "epochs", "batch_size", "lr",
         "seed", "trace_seed",
     )
+    serve_inputs = ("length",)
 
     def __init__(self, config_name: str | None = None, hidden: int = 16,
                  layers: int = 2, epochs: int = 3, batch_size: int = 512,
@@ -495,6 +507,7 @@ class CrossProgramAdapter(_BaselineAdapter):
 
     family = "cross_program"
     spec_fields = ("n_signature", "ridge")
+    serve_inputs = ("signature_times",)
 
     def __init__(self, n_signature: int = 3, ridge: float = 1e-3):
         self.n_signature = n_signature

@@ -122,6 +122,15 @@ class PerformanceModel(abc.ABC):
     #: Constructor hyper-parameter names; drives the generic :attr:`spec`.
     spec_fields: ClassVar[tuple[str, ...]] = ()
 
+    #: What the serving layer must attach to a :class:`PredictRequest`
+    #: for this family, drawn from ``{"features", "length",
+    #: "signature_times"}`` — ``"features"`` is the encoded feature
+    #: stream, ``"length"`` the deterministic trace length,
+    #: ``"signature_times"`` the caller-measured times on the signature
+    #: configurations.  Empty means the family answers purely from
+    #: fitted state (the per-program baselines).
+    serve_inputs: ClassVar[tuple[str, ...]] = ()
+
     # -- identity ---------------------------------------------------------
     @property
     def spec(self) -> dict:

@@ -149,11 +149,17 @@ class ModelStore:
         self,
         artifact_id: str,
         expect_fingerprint: str | None = None,
+        mmap: bool = False,
     ) -> PerformanceModel:
         """Rebuild the stored model, verifying integrity and provenance.
 
         With ``expect_fingerprint`` the load is refused unless the
-        artifact was trained on exactly that dataset.
+        artifact was trained on exactly that dataset.  With ``mmap=True``
+        the weight arrays are **read-only views over a shared page-cache
+        mapping** (see :func:`repro.ml.serialize.load_arrays`): serving
+        workers loading the same artifact share one physical copy.
+        Values — and therefore predictions — are bit-identical to the
+        eager load.
         """
         from repro.models.registry import create
 
@@ -167,7 +173,9 @@ class ModelStore:
                 f"{manifest.get('dataset_fingerprint')!r}, expected "
                 f"{expect_fingerprint!r}"
             )
-        arrays = load_arrays(os.path.join(self.path(artifact_id), WEIGHTS_NPZ))
+        arrays = load_arrays(
+            os.path.join(self.path(artifact_id), WEIGHTS_NPZ), mmap=mmap
+        )
         if _digest_arrays(arrays) != manifest["weights_digest"]:
             raise StoreError(f"artifact {artifact_id!r} weights are corrupt")
         model = create(manifest["family"], **manifest["spec"])

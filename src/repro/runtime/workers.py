@@ -1,0 +1,86 @@
+"""Long-lived message-passing worker processes.
+
+:class:`~repro.runtime.pool.ParallelMap` covers run-to-completion
+fan-out; the serving cluster instead needs *resident* workers that hold
+warm model/feature caches and answer a stream of messages over a pipe.
+:class:`WorkerProcess` is that primitive: a spawned child process plus
+the parent end of a duplex pipe, with explicit lifecycle control
+(including an ungraceful :meth:`kill` for crash-recovery tests).
+
+The ``spawn`` start method is used unconditionally: the parent runs
+threads (lane senders, pipe readers, the dispatcher watchdog), and
+forking a threaded process can deadlock the child on locks held by
+threads that do not survive the fork.  Spawned children re-import the
+code fresh, so ``target`` must be a module-level function.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import multiprocessing.connection
+
+
+def mp_context():
+    """The multiprocessing context for resident workers (``spawn``)."""
+    return multiprocessing.get_context("spawn")
+
+
+class WorkerProcess:
+    """One resident child process speaking over a duplex pipe.
+
+    ``target`` (module-level, picklable) is called in the child as
+    ``target(conn, *args)`` where ``conn`` is the child end of the pipe.
+    The parent talks through :meth:`send` / :meth:`recv`.  Callers
+    manage their own threading: :meth:`send` from one thread and
+    :meth:`recv` from another is safe (a duplex pipe's directions are
+    independent), but concurrent sends are not.
+    """
+
+    def __init__(self, target, args: tuple = (), name: str | None = None):
+        ctx = mp_context()
+        parent, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=target, args=(child, *args), name=name, daemon=True
+        )
+        self.process.start()
+        child.close()  # the child's end lives in the child now
+        self.conn: multiprocessing.connection.Connection = parent
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+    def send(self, message) -> None:
+        """Ship one picklable message (raises ``OSError`` when dead)."""
+        self.conn.send(message)
+
+    def recv(self):
+        """Block for the next message (raises ``EOFError`` when dead)."""
+        return self.conn.recv()
+
+    def kill(self) -> None:
+        """SIGKILL the child — the crash-injection hook; no cleanup runs."""
+        self.process.kill()
+        self.process.join()
+
+    def stop(self, shutdown_message=None, timeout_s: float = 5.0) -> None:
+        """Graceful stop: optional farewell message, join, then escalate."""
+        if shutdown_message is not None:
+            try:
+                self.conn.send(shutdown_message)
+            except (OSError, BrokenPipeError):
+                pass
+        self.process.join(timeout=timeout_s)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.kill()
+            self.process.join()
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+__all__ = ["WorkerProcess", "mp_context"]

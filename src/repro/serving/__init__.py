@@ -4,21 +4,45 @@
   and feature streams in LRU caches, a micro-batching request queue, and
   batched no-grad inference underneath (every queued request shares one
   engine pass per batch).
+* :mod:`~repro.serving.dispatch` — :class:`Dispatcher`: per-model
+  routing, bounded queues with timeout/rejection, request hedging and
+  crash fail-over across worker lanes (transport-agnostic).
+* :mod:`~repro.serving.cluster` — :class:`PredictionCluster`: N worker
+  processes (each a ``PredictionService`` over mmap-shared weights)
+  behind one dispatcher, with graceful model hot-swap.
 * :mod:`~repro.serving.http` — a dependency-free HTTP/JSON endpoint over
-  the service (``repro serve``).
+  either backend (``repro serve [--workers N]``).
 """
 
+from repro.serving.dispatch import (
+    Dispatcher,
+    DispatchPolicy,
+    NoWorkersAvailable,
+    QueueFull,
+    RequestTimeout,
+    ServingUnavailable,
+    WorkerError,
+)
 from repro.serving.service import (
     PredictionService,
     ServeRequest,
     ServeResult,
 )
+from repro.serving.cluster import PredictionCluster
 from repro.serving.http import make_server, run_server
 
 __all__ = [
+    "Dispatcher",
+    "DispatchPolicy",
+    "NoWorkersAvailable",
+    "PredictionCluster",
     "PredictionService",
+    "QueueFull",
+    "RequestTimeout",
     "ServeRequest",
     "ServeResult",
+    "ServingUnavailable",
+    "WorkerError",
     "make_server",
     "run_server",
 ]

@@ -1,0 +1,386 @@
+"""Multi-worker prediction cluster: N processes, one dispatcher.
+
+Topology::
+
+    clients -> PredictionCluster.submit
+                 |  resolve family -> concrete artifact id (routes table)
+                 v
+               Dispatcher (repro.serving.dispatch)
+                 |  per-model rendezvous routing, bounded lanes,
+                 |  timeout/rejection, hedging, fail-over
+                 v
+               worker processes (repro.runtime.workers.WorkerProcess)
+                 each: PredictionService(mmap=True) answering batches
+
+Workers load model weights with ``mmap=True`` — read-only views over
+the artifact's extracted ``.npy`` sidecar — so all N processes share
+**one** physical copy of each model through the OS page cache instead of
+N private copies.
+
+**Routing is by concrete artifact id.**  The frontend resolves a
+request's family to an artifact id *once, at submit time* (the routes
+table), and ships the pinned id to the worker.  Workers never resolve
+"newest" themselves, which is what makes :meth:`PredictionCluster.swap`
+atomic: a model hot-swap preloads the new artifact on every worker
+(register), waits for every acknowledgement (drain — in-flight requests
+keep their old pinned id and finish against the old model), then
+switches the routes entry in one assignment.  No request can ever
+observe a half-loaded model: every request is answered entirely by the
+artifact id it was pinned to.
+
+Crash recovery: a worker that dies mid-request is detected by its pipe
+reader (EOF); the dispatcher re-dispatches everything the worker owed to
+the survivors and the cluster spawns a replacement.  :meth:`kill_worker`
+exposes that failure path to tests (SIGKILL, no cleanup).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from concurrent.futures import Future
+
+from repro.api import Session
+from repro.serving.dispatch import (
+    Dispatcher,
+    DispatchPolicy,
+    WorkerError,
+    WorkerLink,
+)
+from repro.serving.service import (
+    PredictionService,
+    ServeRequest,
+    ServeResult,
+)
+
+#: Worker error classification -> HTTP status at the frontend.
+ERROR_STATUS = {"not-found": 404, "bad-request": 400, "internal": 500}
+
+
+def _classify(exc: Exception) -> str:
+    """Map a worker-side exception to a wire error kind."""
+    from repro.core.errors import PredictionError, UnknownBenchmarkError
+    from repro.models import StoreError
+
+    if isinstance(exc, (UnknownBenchmarkError, StoreError, KeyError)):
+        return "not-found"
+    if isinstance(exc, (PredictionError, TypeError, ValueError)):
+        return "bad-request"
+    return "internal"
+
+
+def _worker_main(conn, options: dict) -> None:
+    """Worker process entry point (module-level: spawn pickles it).
+
+    Wire protocol (tuples, first element tags the kind)::
+
+        parent -> worker: ("predict", [(rid, request dict), ...])
+                          ("ctl", cid, {"op": ...})
+                          ("stop",)
+        worker -> parent: ("ok", rid, result dict)
+                          ("err", rid, kind, message)
+                          ("ctl-ok", cid, payload) / ("ctl-err", cid, msg)
+    """
+    service = PredictionService(
+        scale=options["scale"],
+        cache_dir=options["cache_dir"],
+        model_cache=options["model_cache"],
+        feature_cache=options["feature_cache"],
+        mmap=options["mmap"],
+    )
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        kind = message[0]
+        if kind == "stop":
+            conn.close()
+            return
+        if kind == "ctl":
+            _, cid, payload = message
+            conn.send(_handle_control(service, cid, payload))
+            continue
+        # ("predict", items) — parse failures answer per request, the
+        # parseable remainder runs through the service's per-request
+        # error-isolating batch path.
+        parsed: list[tuple[int, ServeRequest]] = []
+        for rid, payload in message[1]:
+            try:
+                parsed.append((rid, ServeRequest.from_dict(payload)))
+            except (ValueError, TypeError) as exc:
+                conn.send(("err", rid, "bad-request", str(exc)))
+        outcomes = service.predict_each([req for _, req in parsed])
+        for (rid, _), outcome in zip(parsed, outcomes):
+            if isinstance(outcome, Exception):
+                conn.send(
+                    ("err", rid, _classify(outcome), str(outcome))
+                )
+            else:
+                conn.send(("ok", rid, outcome.to_dict()))
+
+
+def _handle_control(service: PredictionService, cid: int, payload: dict):
+    import os
+
+    op = payload.get("op")
+    try:
+        if op == "ping":
+            return ("ctl-ok", cid, {"pid": os.getpid()})
+        if op == "swap":
+            # preload: after the ack this artifact is warm in the LRU,
+            # so switching the route never serves a cold/partial model
+            artifact_id, model = service.model(
+                family=payload["family"], artifact=payload["artifact"]
+            )
+            return ("ctl-ok", cid, {
+                "artifact": artifact_id, "family": model.family,
+            })
+        return ("ctl-err", cid, f"unknown control op {op!r}")
+    except Exception as exc:
+        return ("ctl-err", cid, f"{type(exc).__name__}: {exc}")
+
+
+class _PipeLink(WorkerLink):
+    """Dispatcher-facing transport over one worker's pipe."""
+
+    def __init__(self, proc):
+        self.proc = proc
+
+    def send_requests(self, items: list) -> None:
+        self.proc.send(("predict", items))
+
+    def send_control(self, cid: int, payload: dict) -> None:
+        self.proc.send(("ctl", cid, payload))
+
+    def close(self) -> None:
+        try:
+            self.proc.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+
+class PredictionCluster:
+    """N resident worker processes behind one dispatching frontend.
+
+    Offers the same ``submit``/``predict`` surface as
+    :class:`PredictionService`, so the HTTP frontend and the load
+    harness drive either interchangeably.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        scale: str = "bench",
+        cache_dir: str | None = None,
+        session: Session | None = None,
+        policy: DispatchPolicy | None = None,
+        model_cache: int = 4,
+        feature_cache: int = 64,
+        mmap: bool = True,
+    ):
+        if workers < 1:
+            raise ValueError("a cluster needs at least one worker")
+        self.session = session or Session(scale=scale, cache_dir=cache_dir)
+        self.workers = workers
+        self._options = {
+            "scale": self.session.scale.name,
+            "cache_dir": self.session.cache_dir,
+            "model_cache": model_cache,
+            "feature_cache": feature_cache,
+            "mmap": mmap,
+        }
+        self.dispatcher = Dispatcher(
+            policy=policy, on_worker_lost=self._on_worker_lost
+        )
+        self._lock = threading.Lock()
+        self._procs: dict[int, object] = {}
+        self._readers: dict[int, threading.Thread] = {}
+        self._routes: dict[str, str] = {}  # family -> pinned artifact id
+        self._closing = False
+        self._started = False
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker processes (idempotent)."""
+        with self._lock:
+            if self._started:
+                return
+            self._started = True
+        for _ in range(self.workers):
+            self._spawn_worker()
+
+    def stop(self) -> None:
+        """Fail pending requests, stop workers, join readers."""
+        with self._lock:
+            if self._closing:
+                return
+            self._closing = True
+            procs = dict(self._procs)
+            readers = dict(self._readers)
+            self._procs.clear()
+            self._readers.clear()
+        self.dispatcher.close()
+        for proc in procs.values():
+            proc.stop(shutdown_message=("stop",))
+        for reader in readers.values():
+            reader.join(timeout=5.0)
+
+    def __enter__(self) -> "PredictionCluster":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- serving ----------------------------------------------------------
+    def submit(self, request: ServeRequest) -> Future:
+        """Dispatch one request; the future resolves to a
+        :class:`ServeResult` (or raises — see
+        :mod:`repro.serving.dispatch` for the 503 family)."""
+        self.start()
+        artifact = request.artifact or self._route(request.family)
+        concrete = (
+            request if request.artifact == artifact
+            else dataclasses.replace(request, artifact=artifact)
+        )
+        key = (concrete.family, concrete.artifact)
+        return self.dispatcher.submit(concrete.to_dict(), key=key)
+
+    def predict(
+        self, request: ServeRequest, timeout: float | None = None
+    ) -> ServeResult:
+        return self.submit(request).result(timeout=timeout)
+
+    def _route(self, family: str) -> str:
+        with self._lock:
+            pinned = self._routes.get(family)
+        if pinned is not None:
+            return pinned
+        resolved = self.session.resolve_artifact(family)
+        with self._lock:
+            return self._routes.setdefault(family, resolved)
+
+    # -- hot swap ---------------------------------------------------------
+    def swap(
+        self, artifact: str, family: str | None = None,
+        timeout_s: float = 60.0,
+    ) -> dict:
+        """Atomically switch a family's route to ``artifact``.
+
+        Register (verify the artifact exists), preload it on every
+        worker, await every acknowledgement, then switch the route in
+        one assignment.  In-flight requests finish against the artifact
+        they were pinned to; a preload failure on any worker leaves the
+        route unchanged.
+        """
+        manifest = self.session.store.manifest(artifact)
+        family = family or manifest["family"]
+        if manifest["family"] != family:
+            raise ValueError(
+                f"artifact {artifact!r} is family "
+                f"{manifest['family']!r}, not {family!r}"
+            )
+        self.start()
+        acks = [
+            self.dispatcher.control(
+                wid, {"op": "swap", "family": family, "artifact": artifact}
+            )
+            for wid in self.dispatcher.alive_workers()
+        ]
+        for ack in acks:
+            ack.result(timeout=timeout_s)  # raises -> route unchanged
+        with self._lock:
+            previous = self._routes.get(family)
+            self._routes[family] = artifact
+        return {
+            "family": family, "artifact": artifact,
+            "previous": previous, "workers": len(acks),
+        }
+
+    # -- fault injection / introspection ----------------------------------
+    def kill_worker(self, worker_id: int | None = None) -> int:
+        """SIGKILL one worker (default: lowest alive id) — chaos hook.
+
+        Returns the killed worker's id.  Recovery is automatic: the
+        pipe reader sees EOF, the dispatcher fails over the worker's
+        requests, and a replacement spawns.
+        """
+        with self._lock:
+            if worker_id is None:
+                if not self._procs:
+                    raise RuntimeError("no workers to kill")
+                worker_id = min(self._procs)
+            proc = self._procs[worker_id]
+        proc.kill()
+        return worker_id
+
+    def stats(self) -> dict:
+        with self._lock:
+            pids = {
+                str(wid): proc.pid for wid, proc in sorted(self._procs.items())
+            }
+            routes = dict(self._routes)
+        return {
+            **self.dispatcher.stats(),
+            "worker_pids": pids,
+            "routes": routes,
+        }
+
+    # -- internals --------------------------------------------------------
+    def _spawn_worker(self) -> int:
+        from repro.runtime.workers import WorkerProcess
+
+        proc = WorkerProcess(
+            _worker_main, args=(self._options,), name="repro-serve-worker"
+        )
+        worker_id = self.dispatcher.add_worker(_PipeLink(proc))
+        reader = threading.Thread(
+            target=self._read_loop, args=(worker_id, proc),
+            name=f"repro-cluster-reader-{worker_id}", daemon=True,
+        )
+        with self._lock:
+            self._procs[worker_id] = proc
+            self._readers[worker_id] = reader
+        reader.start()
+        return worker_id
+
+    def _read_loop(self, worker_id: int, proc) -> None:
+        while True:
+            try:
+                message = proc.recv()
+            except (EOFError, OSError):
+                break
+            kind = message[0]
+            if kind == "ok":
+                self.dispatcher.complete(
+                    message[1], ServeResult.from_dict(message[2])
+                )
+            elif kind == "err":
+                _, rid, ekind, text = message
+                self.dispatcher.fail(
+                    rid,
+                    WorkerError(
+                        ekind, text, ERROR_STATUS.get(ekind, 500)
+                    ),
+                )
+            elif kind == "ctl-ok":
+                self.dispatcher.control_reply(message[1], True, message[2])
+            elif kind == "ctl-err":
+                self.dispatcher.control_reply(message[1], False, message[2])
+        if not self._closing:
+            self.dispatcher.worker_lost(worker_id)
+
+    def _on_worker_lost(self, worker_id: int) -> None:
+        with self._lock:
+            if self._closing:
+                return
+            proc = self._procs.pop(worker_id, None)
+            self._readers.pop(worker_id, None)
+        if proc is not None:
+            proc.stop(timeout_s=1.0)  # reap the corpse
+        if not self._closing:
+            self._spawn_worker()
+
+
+__all__ = ["ERROR_STATUS", "PredictionCluster"]

@@ -1,25 +1,33 @@
-"""Stdlib-only HTTP/JSON frontend over :class:`PredictionService`.
+"""Stdlib-only HTTP/JSON frontend over a prediction backend.
+
+The backend is either a single-process
+:class:`~repro.serving.service.PredictionService` or a multi-worker
+:class:`~repro.serving.cluster.PredictionCluster` — both expose the
+same ``submit``/``start``/``stop``/``session`` surface, so the handler
+does not care which it is serving.
 
 Endpoints::
 
-    GET  /healthz      -> {"status": "ok", "scale": ..., "models": N}
+    GET  /healthz      -> {"status": "ok", "scale": ..., "models": N,
+                           "workers": N or 0}
     GET  /v1/models    -> {"models": [manifest, ...]}
+    GET  /v1/stats     -> dispatcher/worker counters (cluster; a plain
+                          service answers a minimal payload)
     POST /v1/predict   -> single:  {"benchmark": "505.mcf", ...}
                           batched: {"requests": [{...}, {...}]}
+    POST /v1/swap      -> {"artifact": "<id>", "family": optional}
+                          (cluster only: atomic model hot-swap)
 
-Each POSTed request accepts ``benchmark`` (required), ``family``,
-``artifact`` and ``config`` — the fields of
-:class:`~repro.serving.service.ServeRequest`.  Responses mirror
-``Session.predict``: ``{"times": {config name: predicted ticks}}`` per
-request, plus the artifact id that served it.
-
-The server threads per connection (``ThreadingHTTPServer``) and every
-request goes through the service's micro-batching queue, so concurrent
-clients share batched no-grad inference passes.
+Each POSTed prediction request accepts the fields of
+:class:`~repro.serving.service.ServeRequest` (``benchmark`` required).
+Responses mirror ``Session.predict``: ``{"times": {config: ticks}}``
+per request, plus the artifact id that served it.
 
 Error mapping: bad JSON / unknown fields -> 400; unknown benchmark,
-family or artifact -> 404; everything else -> 500 with the exception
-text.
+family or artifact -> 404; overload (queue full / timeout / no
+workers — the :class:`~repro.serving.dispatch.ServingUnavailable`
+family) -> 503 with a ``Retry-After`` header; worker-side errors carry
+their own status; everything else -> 500 with the exception text.
 """
 
 from __future__ import annotations
@@ -29,17 +37,18 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.core.errors import PredictionError, UnknownBenchmarkError
 from repro.models import StoreError
-from repro.serving.service import PredictionService, ServeRequest
+from repro.serving.dispatch import ServingUnavailable, WorkerError
+from repro.serving.service import ServeRequest
 
 #: Largest accepted request body (bytes) — predict payloads are tiny.
 MAX_BODY = 1 << 20
 
 
 class _Handler(BaseHTTPRequestHandler):
-    server_version = "repro-serve/1"
+    server_version = "repro-serve/2"
 
     @property
-    def service(self) -> PredictionService:
+    def service(self):
         return self.server.service  # type: ignore[attr-defined]
 
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
@@ -47,41 +56,75 @@ class _Handler(BaseHTTPRequestHandler):
             super().log_message(format, *args)
 
     # -- plumbing ---------------------------------------------------------
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(
+        self, status: int, payload: dict, headers: dict | None = None
+    ) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _error(self, status: int, message: str) -> None:
-        self._reply(status, {"error": message})
+    def _error(self, status: int, message: str, **headers) -> None:
+        self._reply(status, {"error": message}, headers=headers or None)
+
+    def _fail(self, exc: Exception) -> None:
+        """One exception -> one HTTP error reply (see module docstring)."""
+        if isinstance(exc, ServingUnavailable):
+            self._error(
+                503, str(exc),
+                **{"Retry-After": f"{exc.retry_after_s:g}"},
+            )
+        elif isinstance(exc, WorkerError):
+            self._error(exc.status, str(exc))
+        elif isinstance(exc, (UnknownBenchmarkError, StoreError, KeyError)):
+            self._error(404, str(exc))
+        elif isinstance(exc, (PredictionError, TypeError, ValueError)):
+            self._error(400, str(exc))
+        else:
+            self._error(500, f"{type(exc).__name__}: {exc}")
+
+    def _body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > MAX_BODY:
+            raise ValueError("request body too large")
+        return json.loads(self.rfile.read(length) or b"{}")
 
     # -- GET --------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
         if self.path == "/healthz":
+            dispatcher = getattr(self.service, "dispatcher", None)
             self._reply(200, {
                 "status": "ok",
                 "scale": self.service.session.scale.name,
                 "models": len(self.service.session.models()),
+                "workers": (
+                    len(dispatcher.alive_workers()) if dispatcher else 0
+                ),
             })
         elif self.path == "/v1/models":
             self._reply(200, {"models": self.service.session.models()})
+        elif self.path == "/v1/stats":
+            stats = getattr(self.service, "stats", None)
+            self._reply(200, stats() if stats else {"workers": {}})
         else:
             self._error(404, f"no such endpoint: {self.path}")
 
     # -- POST -------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
-        if self.path != "/v1/predict":
+        if self.path == "/v1/predict":
+            self._post_predict()
+        elif self.path == "/v1/swap":
+            self._post_swap()
+        else:
             self._error(404, f"no such endpoint: {self.path}")
-            return
+
+    def _post_predict(self) -> None:
         try:
-            length = int(self.headers.get("Content-Length", 0))
-            if length > MAX_BODY:
-                self._error(400, "request body too large")
-                return
-            payload = json.loads(self.rfile.read(length) or b"{}")
+            payload = self._body()
             if "requests" in payload:
                 requests = [
                     ServeRequest.from_dict(item)
@@ -95,17 +138,12 @@ class _Handler(BaseHTTPRequestHandler):
             self._error(400, f"bad request: {exc}")
             return
         try:
-            # the micro-batch queue coalesces concurrent client requests
+            # service: micro-batch queue; cluster: dispatcher lanes —
+            # either way concurrent clients share batched engine passes
             futures = [self.service.submit(r) for r in requests]
             results = [f.result() for f in futures]
-        except (UnknownBenchmarkError, StoreError, KeyError) as exc:
-            self._error(404, str(exc))
-            return
-        except (PredictionError, TypeError, ValueError) as exc:
-            self._error(400, str(exc))
-            return
-        except Exception as exc:  # pragma: no cover - defensive
-            self._error(500, f"{type(exc).__name__}: {exc}")
+        except Exception as exc:
+            self._fail(exc)
             return
         if batched:
             self._reply(
@@ -114,15 +152,38 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._reply(200, results[0].to_dict())
 
+    def _post_swap(self) -> None:
+        swap = getattr(self.service, "swap", None)
+        if swap is None:
+            self._error(
+                400,
+                "model hot-swap needs the worker cluster; "
+                "restart with `repro serve --workers N`",
+            )
+            return
+        try:
+            payload = self._body()
+            artifact = payload["artifact"]
+        except (ValueError, TypeError, KeyError) as exc:
+            self._error(400, f"bad request: {exc}")
+            return
+        try:
+            outcome = swap(artifact, family=payload.get("family"))
+        except Exception as exc:
+            self._fail(exc)
+            return
+        self._reply(200, outcome)
+
 
 def make_server(
-    service: PredictionService, host: str = "127.0.0.1", port: int = 0,
-    verbose: bool = False,
+    service, host: str = "127.0.0.1", port: int = 0, verbose: bool = False,
 ) -> ThreadingHTTPServer:
     """Build (and bind) the HTTP server; ``port=0`` picks a free port.
 
-    The caller runs ``serve_forever()`` (or spins it in a thread — the
-    round-trip test does) and ``shutdown()`` when done.
+    ``service`` is a :class:`PredictionService` or
+    :class:`PredictionCluster`.  The caller runs ``serve_forever()``
+    (or spins it in a thread — the round-trip tests do) and
+    ``shutdown()`` when done.
     """
     server = ThreadingHTTPServer((host, port), _Handler)
     server.service = service  # type: ignore[attr-defined]
@@ -132,8 +193,7 @@ def make_server(
 
 
 def run_server(
-    service: PredictionService, host: str = "127.0.0.1", port: int = 8080,
-    verbose: bool = True,
+    service, host: str = "127.0.0.1", port: int = 8080, verbose: bool = True,
 ) -> None:
     """Blocking serve loop (the ``repro serve`` entry point)."""
     server = make_server(service, host, port, verbose=verbose)

@@ -6,18 +6,27 @@ wants the opposite trade-off, which is what :class:`PredictionService`
 provides:
 
 * **model LRU** — recently served artifacts stay deserialized in memory,
-  keyed by resolved artifact id;
+  keyed by resolved artifact id (with ``mmap=True`` the weight arrays
+  are read-only views over a shared page-cache mapping, so N worker
+  processes serving the same artifact hold **one** physical copy);
 * **feature LRU** — recently served benchmarks keep their encoded
   ``[n, 51]`` streams (backed by the on-disk content-addressed feature
   cache for cold entries);
 * **micro-batching** — :meth:`submit` enqueues a request and returns a
   future; a collector thread drains the queue, groups requests by model
   and answers each group through one batched no-grad engine pass.  The
-  HTTP frontend submits every request here, so concurrent clients batch
-  together automatically.
+  single-process HTTP frontend submits every request here, so concurrent
+  clients batch together automatically.  Partial batches flush on the
+  batching-window deadline even when no follow-up traffic arrives.
 
 :meth:`predict` / :meth:`predict_batch` are the same path called
-synchronously (no queue) — useful in scripts and tests.
+synchronously (no queue) — useful in scripts and tests, and the inner
+loop of every :mod:`repro.serving.cluster` worker process.
+
+All six model families serve: each family's
+:attr:`~repro.models.base.PerformanceModel.serve_inputs` names what a
+request must carry (feature stream, trace length, signature times), and
+:meth:`repro.api.Session.serve_request` assembles it.
 """
 
 from __future__ import annotations
@@ -31,7 +40,11 @@ from typing import Sequence
 
 from repro.api import Session
 from repro.core.errors import PredictionError
-from repro.models import PerformanceModel, PredictRequest
+from repro.models import PerformanceModel
+
+#: Request fields accepted over the wire.
+_REQUEST_FIELDS = {"benchmark", "family", "artifact", "config",
+                   "signature_times"}
 
 
 @dataclass(frozen=True)
@@ -42,12 +55,18 @@ class ServeRequest:
     family: str = "perfvec"
     artifact: str | None = None  # None: newest of family at service scale
     config: str | None = None  # None: every config the model knows
+    #: Measured times on the signature configurations — required by the
+    #: ``cross_program`` family only.
+    signature_times: tuple[float, ...] | None = None
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "benchmark": self.benchmark, "family": self.family,
             "artifact": self.artifact, "config": self.config,
         }
+        if self.signature_times is not None:
+            payload["signature_times"] = list(self.signature_times)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "ServeRequest":
@@ -55,14 +74,18 @@ class ServeRequest:
             benchmark = payload["benchmark"]
         except (TypeError, KeyError):
             raise ValueError("request must carry a 'benchmark' field")
-        unknown = set(payload) - {"benchmark", "family", "artifact", "config"}
+        unknown = set(payload) - _REQUEST_FIELDS
         if unknown:
             raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        signature_times = payload.get("signature_times")
+        if signature_times is not None:
+            signature_times = tuple(float(t) for t in signature_times)
         return cls(
             benchmark=benchmark,
             family=payload.get("family") or "perfvec",
             artifact=payload.get("artifact"),
             config=payload.get("config"),
+            signature_times=signature_times,
         )
 
 
@@ -79,6 +102,13 @@ class ServeResult:
             "benchmark": self.benchmark, "artifact": self.artifact,
             "times": self.times,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ServeResult":
+        return cls(
+            benchmark=payload["benchmark"], artifact=payload["artifact"],
+            times=dict(payload["times"]),
+        )
 
 
 class _LRU:
@@ -118,10 +148,12 @@ class PredictionService:
         feature_cache: int = 64,
         max_batch: int = 64,
         batch_window_s: float = 0.002,
+        mmap: bool = False,
     ):
         self.session = session or Session(scale=scale, cache_dir=cache_dir)
         self.max_batch = max_batch
         self.batch_window_s = batch_window_s
+        self.mmap = mmap
         self._models = _LRU(model_cache)
         self._features = _LRU(feature_cache)
         self._lock = threading.Lock()
@@ -133,12 +165,16 @@ class PredictionService:
     def model(
         self, family: str = "perfvec", artifact: str | None = None
     ) -> tuple[str, PerformanceModel]:
-        """(resolved artifact id, deserialized model), LRU-cached."""
+        """(resolved artifact id, deserialized model), LRU-cached.
+
+        With ``mmap=True`` cold loads map the stored weights read-only
+        instead of copying them into private memory.
+        """
         artifact_id = self.session.resolve_artifact(family, artifact)
         with self._lock:
             model = self._models.get(artifact_id)
         if model is None:
-            model = self.session.store.load(artifact_id)
+            model = self.session.store.load(artifact_id, mmap=self.mmap)
             with self._lock:
                 self._models.put(artifact_id, model)
         return artifact_id, model
@@ -177,18 +213,16 @@ class PredictionService:
         results: list[ServeResult | None] = [None] * len(requests)
         for (family, artifact), indices in groups.items():
             artifact_id, model = self.model(family, artifact)
-            if not hasattr(model, "predict_features"):
-                # same contract as Session.predict_many — checked before
-                # any feature work, which these families cannot consume
-                raise TypeError(
-                    f"family {model.family!r} has no feature-stream "
-                    "serving path; use Session.evaluate() for "
-                    "simulation-based comparisons"
-                )
+            needs_features = "features" in model.serve_inputs
             batch = [
-                PredictRequest(
-                    benchmark=requests[i].benchmark,
-                    features=self.features(requests[i].benchmark),
+                self.session.serve_request(
+                    model,
+                    requests[i].benchmark,
+                    features=(
+                        self.features(requests[i].benchmark)
+                        if needs_features else None
+                    ),
+                    signature_times=requests[i].signature_times,
                 )
                 for i in indices
             ]
@@ -208,6 +242,26 @@ class PredictionService:
                     times=named,
                 )
         return results  # type: ignore[return-value]
+
+    def predict_each(
+        self, requests: Sequence[ServeRequest]
+    ) -> list[ServeResult | Exception]:
+        """Like :meth:`predict_batch`, but a bad request poisons only its
+        own slot: on a batch failure every request retries alone, and
+        failures come back as exception objects in request order."""
+        requests = list(requests)
+        try:
+            return list(self.predict_batch(requests))
+        except Exception:
+            if len(requests) == 1:
+                try:
+                    return [self.predict(requests[0])]
+                except Exception as exc:
+                    return [exc]
+            out: list[ServeResult | Exception] = []
+            for request in requests:
+                out.extend(self.predict_each([request]))
+            return out
 
     # -- micro-batching queue --------------------------------------------
     def submit(self, request: ServeRequest) -> Future:
@@ -250,7 +304,10 @@ class PredictionService:
 
     def _drain(self) -> list[tuple[ServeRequest, Future]]:
         """One micro-batch: the first request plus whatever arrives within
-        the batching window, capped at ``max_batch``."""
+        the batching window, capped at ``max_batch``.
+
+        The deadline is absolute: a partial batch flushes when the window
+        expires even if no follow-up request ever arrives."""
         batch: list[tuple[ServeRequest, Future]] = []
         try:
             batch.append(self._queue.get(timeout=0.05))
@@ -268,15 +325,9 @@ class PredictionService:
         return batch
 
     def _answer(self, batch: list[tuple[ServeRequest, Future]]) -> None:
-        requests = [request for request, _ in batch]
-        try:
-            results = self.predict_batch(requests)
-        except Exception as exc:  # per-request retry to isolate the bad one
-            if len(batch) == 1:
-                batch[0][1].set_exception(exc)
+        outcomes = self.predict_each([request for request, _ in batch])
+        for (_, future), outcome in zip(batch, outcomes):
+            if isinstance(outcome, Exception):
+                future.set_exception(outcome)
             else:
-                for item in batch:
-                    self._answer([item])
-            return
-        for (_, future), result in zip(batch, results):
-            future.set_result(result)
+                future.set_result(outcome)

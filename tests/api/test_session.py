@@ -83,10 +83,15 @@ def test_models_listing(session):
     assert manifests[0]["train_config"]["scale"] == "smoke"
 
 
-def test_non_serving_family_predict_raises(session):
+def test_parameter_family_predicts_fitted_benchmark(session):
+    from repro.core.errors import PredictionError
+
     session.train(family="actboost", benchmarks=BENCHMARKS, n_estimators=5)
-    with pytest.raises(TypeError, match="serving"):
-        session.predict("999.specrand", family="actboost")
+    times = session.predict("999.specrand", family="actboost")
+    assert np.isfinite(list(times.values())).all()
+    # fitted to one program: any other benchmark is a clear refusal
+    with pytest.raises(PredictionError, match="fitted to benchmark"):
+        session.predict("505.mcf", family="actboost")
 
 
 def test_unknown_family_fails_early(session):

@@ -1,5 +1,7 @@
 """PredictionService: caching, grouping, micro-batching."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -88,6 +90,26 @@ def test_submit_micro_batches(service, session):
         )
 
 
+def test_partial_batch_flushes_on_deadline_without_follow_up(session):
+    # regression: a lone request must flush when the batching window
+    # expires — with *zero* follow-up traffic it must not sit waiting
+    # for max_batch companions that will never arrive
+    service = PredictionService(
+        session=session, max_batch=64, batch_window_s=0.05
+    )
+    try:
+        start = time.monotonic()
+        result = service.submit(ServeRequest(benchmark="505.mcf")).result(
+            timeout=30
+        )
+        elapsed = time.monotonic() - start
+    finally:
+        service.stop()
+    assert result.benchmark == "505.mcf"
+    # window (50ms) + one engine pass; far under any "hang" threshold
+    assert elapsed < 5.0
+
+
 def test_submit_surfaces_errors_per_request(service):
     good = service.submit(ServeRequest(benchmark="505.mcf"))
     bad = service.submit(ServeRequest(benchmark="not.a.benchmark"))
@@ -103,9 +125,16 @@ def test_unknown_config_is_clear_error(service):
         service.predict(ServeRequest(benchmark="505.mcf", config="nope"))
 
 
-def test_non_serving_family_rejected_before_feature_work(service, session):
+def test_parameter_family_serves_its_fitted_benchmark(service, session):
     session.train(family="actboost", benchmarks=BENCHMARKS, n_estimators=3)
-    with pytest.raises(TypeError, match="no feature-stream serving path"):
+    result = service.predict(
+        ServeRequest(benchmark="999.specrand", family="actboost")
+    )
+    assert result.times == session.predict("999.specrand", family="actboost")
+    # the per-program baseline answers only for the benchmark it was fit to
+    from repro.core.errors import PredictionError
+
+    with pytest.raises(PredictionError, match="fitted to benchmark"):
         service.predict(
             ServeRequest(benchmark="505.mcf", family="actboost")
         )
