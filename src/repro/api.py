@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import jit as _jit
 from repro.cache import dataset_cache_dir, model_store_dir
 from repro.core.errors import (
     ErrorSummary,
@@ -80,14 +81,24 @@ class Session:
         cache_dir: str | None = None,
         jobs: int | None = 1,
         store: ModelStore | None = None,
+        jit: bool | None = None,
     ):
         self.scale = get_scale(scale)
         self.cache_dir = cache_dir  # None -> REPRO_CACHE_DIR / .repro_cache
         self.jobs = jobs
+        # None defers to REPRO_JIT / the process default (enabled); True or
+        # False pins the compiled tier for this session's engine passes
+        self.jit = jit
         self.store = store or ModelStore(model_store_dir(cache_dir))
         self._configs: list[MicroarchConfig] | None = None
         self._datasets: dict[tuple[str, ...], TraceDataset] = {}
         self._features: dict[str, np.ndarray] = {}
+
+    def _jit_scope(self):
+        """The :func:`repro.jit.context` this session's engine passes run
+        under: its ``jit`` pin (or the ambient default) plus its cache
+        root, so compiled kernels publish next to its other artifacts."""
+        return _jit.context(enabled=self.jit, cache_dir=self.cache_dir)
 
     # -- shared ingredients ----------------------------------------------
     def configs(self) -> list[MicroarchConfig]:
@@ -162,13 +173,17 @@ class Session:
             model = self.store.load(artifact_id, expect_fingerprint=fingerprint)
             reused = True
         else:
-            model = create(family, **spec).fit(dataset, configs=self.configs())
+            with self._jit_scope():
+                model = create(family, **spec).fit(
+                    dataset, configs=self.configs()
+                )
             artifact_id = self.store.put(
                 model, dataset_fingerprint=fingerprint,
                 train_config=train_config, tag=tag,
             )
             reused = False
-        errors = model.evaluate(dataset) if evaluate else {}
+        with self._jit_scope():
+            errors = model.evaluate(dataset) if evaluate else {}
         return TrainResult(
             artifact_id=artifact_id, model=model, reused=reused, errors=errors
         )
@@ -330,7 +345,8 @@ class Session:
             )
             for name in benchmarks
         ]
-        results = model.predict_batch(requests)
+        with self._jit_scope():
+            results = model.predict_batch(requests)
         return {
             request.benchmark: dict(
                 zip(model.config_names, result.tolist())
@@ -346,7 +362,8 @@ class Session:
     ) -> dict[str, ErrorSummary]:
         """Stored-model prediction error vs simulated ground truth."""
         model = self.model(artifact, family)
-        return model.evaluate(self.dataset(benchmarks))
+        with self._jit_scope():
+            return model.evaluate(self.dataset(benchmarks))
 
     # -- pipelines --------------------------------------------------------
     def run_pipeline(

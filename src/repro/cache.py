@@ -48,6 +48,11 @@ def stage_store_dir(root: str | None = None) -> str:
     return os.path.join(cache_root(root), "stages")
 
 
+def jit_cache_dir(root: str | None = None) -> str:
+    """Where :mod:`repro.jit` publishes compiled kernel sources."""
+    return os.path.join(cache_root(root), "jit")
+
+
 def results_dir(override: str | None = None, root: str | None = None) -> str:
     """Where experiment/pipeline result JSON files land.
 

@@ -20,9 +20,14 @@ Every runner subcommand takes ``--jobs N`` (default: all cores) to fan
 trace simulations — and, for ``run-all``/pipelines, whole
 experiments/stages — out across worker processes via
 :mod:`repro.runtime`, ``--cache-dir DIR`` to redirect every on-disk
-cache (datasets + models + stage artifacts; equivalent to setting
-``REPRO_CACHE_DIR``), and ``--results-dir DIR`` to redirect result JSON
-files (default: ``<cache root>/results``).
+cache (datasets + models + stage artifacts + compiled jit kernels;
+equivalent to setting ``REPRO_CACHE_DIR``), and ``--results-dir DIR``
+to redirect result JSON files (default: ``<cache root>/results``).
+
+The serving/prediction subcommands additionally take ``--jit`` /
+``--no-jit`` to pin the :mod:`repro.jit` compiled-kernel tier on or off
+(equivalent to setting ``REPRO_JIT``; the default is on). ``repro
+models show`` lists the kernels published under ``<cache>/jit/``.
 """
 
 from __future__ import annotations
@@ -263,6 +268,7 @@ def _cmd_models(args) -> int:
             print(f"error: {exc}")
             return 1
         print(json.dumps(manifest, indent=2, sort_keys=True))
+        _print_jit_summary()
         return 0
     if args.action == "rm":
         if not args.artifact:
@@ -289,6 +295,24 @@ def _cmd_models(args) -> int:
         print(f"  {manifest['id']:<42s} scale={scale:<6s} "
               f"data={fingerprint}{suffix}")
     return 0
+
+
+def _print_jit_summary() -> None:
+    """Compiled kernels published under ``<cache>/jit/`` (models show)."""
+    from repro import jit
+
+    summary = jit.disk_summary()
+    if not summary["kernels"] and not summary["stale"]:
+        return
+    print(f"\njit kernel cache ({summary['dir']}, "
+          f"generator v{summary['generator_version']}):")
+    for entry in summary["kernels"]:
+        print(f"  {entry['key']}  {entry['label']:<32s} "
+              f"{entry['bytes']:>6d} bytes")
+    if summary["stale"]:
+        print(f"  + {summary['stale']} stale entr"
+              f"{'y' if summary['stale'] == 1 else 'ies'} "
+              "(older generator; ignored)")
 
 
 def _benchmarks_value(text: str | None) -> tuple[str, ...] | None:
@@ -318,6 +342,14 @@ def _add_cache_dir_flag(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="cache root for datasets + models + stage artifacts "
              "(default: $REPRO_CACHE_DIR or .repro_cache)",
+    )
+
+
+def _add_jit_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jit", action=argparse.BooleanOptionalAction, default=None,
+        help="compiled kernel tier for the ml hot loops (default: "
+             "$REPRO_JIT or on; --no-jit forces the numpy reference path)",
     )
 
 
@@ -374,6 +406,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_jobs_flag(p_pipe)
     _add_cache_dir_flag(p_pipe)
     _add_results_dir_flag(p_pipe)
+    _add_jit_flag(p_pipe)
 
     p_suite = sub.add_parser("bench-suite", help="build the full suite dataset")
     p_suite.add_argument("--scale", default="bench")
@@ -399,6 +432,7 @@ def main(argv: list[str] | None = None) -> int:
     p_train.add_argument("--tag", default=None, help="free-form artifact tag")
     _add_jobs_flag(p_train)
     _add_cache_dir_flag(p_train)
+    _add_jit_flag(p_train)
 
     p_predict = sub.add_parser(
         "predict", help="serve predictions from a stored model (no training)"
@@ -420,6 +454,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_jobs_flag(p_predict)
     _add_cache_dir_flag(p_predict)
+    _add_jit_flag(p_predict)
 
     p_serve = sub.add_parser(
         "serve", help="run the HTTP/JSON prediction service"
@@ -454,6 +489,7 @@ def main(argv: list[str] | None = None) -> int:
              "this long (0: hedging off)",
     )
     _add_cache_dir_flag(p_serve)
+    _add_jit_flag(p_serve)
 
     p_models = sub.add_parser("models", help="inspect the model store")
     p_models.add_argument("action", choices=["list", "show", "rm"])
@@ -464,10 +500,13 @@ def main(argv: list[str] | None = None) -> int:
     _add_cache_dir_flag(p_models)
 
     args = parser.parse_args(argv)
+    from repro import jit
     from repro.cache import set_cache_root, set_results_dir
 
     set_cache_root(getattr(args, "cache_dir", None))
     set_results_dir(getattr(args, "results_dir", None))
+    # exported as REPRO_JIT so spawned workers resolve the same setting
+    jit.set_enabled(getattr(args, "jit", None))
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,

@@ -1,0 +1,165 @@
+"""``repro.jit`` — a trace-and-specialize compilation tier for the ML hot
+loops.
+
+The hand-written numpy LSTM/GRU kernels in :mod:`repro.ml.inference`
+are interpreter-bound per timestep: every step pays python-level
+slicing, temporary allocation and generic-shape dispatch.  This package
+removes that tax the way a tracing JIT would — by **specializing**: the
+first time a kernel shape ``(op kind, layer dims, batch, seq, dtype)``
+is dispatched, a fused, shape-specialized Python/numpy module is
+generated (:mod:`repro.jit.codegen`), ``exec``-compiled once and served
+from a two-level cache (:mod:`repro.jit.cache`) — an in-process
+registry plus a content-addressed on-disk tier under ``<cache>/jit/``
+that spawned cluster workers and :class:`~repro.runtime.pool.ParallelMap`
+children reuse instead of re-specializing.
+
+The numpy reference kernels stay the always-on fallback: JIT off, an
+unsupported shape, or a failed compile all serve reference results, and
+the parity suite pins compiled outputs to the reference at ≤ 1e-6.
+
+Control surface (highest priority first):
+
+1. a :func:`context` override — ``Session(jit=...)`` wraps its engine
+   calls in one, scoped to the calling thread;
+2. the ``REPRO_JIT`` environment variable (``0``/``false``/``no``/
+   ``off`` disable; anything else enables) — exported by the CLI's
+   ``--jit/--no-jit`` so spawned workers inherit it;
+3. the default: **enabled**.
+
+Observability: :func:`stats` snapshots compile counts, registry/disk
+hits and per-signature call timings (surfaced via ``GET /v1/stats`` and
+``repro models show``); :func:`disk_summary` lists what is published
+under the cache root.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import threading
+from typing import Callable, Iterator
+
+from repro.jit.cache import (
+    clear_registry,
+    disk_path,
+    disk_summary,
+    registry_size,
+)
+from repro.jit.cache import kernel_for as _cached_kernel_for
+from repro.jit.codegen import UNROLL_LIMIT, generate
+from repro.jit.signature import GENERATOR_VERSION, KernelSignature
+from repro.jit.stats import STATS
+
+#: Environment variable controlling the process-wide default.
+JIT_ENV = "REPRO_JIT"
+
+#: Values of :data:`JIT_ENV` that disable the compiled tier.
+_FALSY = ("0", "false", "no", "off")
+
+_local = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def enabled() -> bool:
+    """Is the compiled tier on for the current thread right now?"""
+    for override, _root in reversed(_stack()):
+        if override is not None:
+            return override
+    value = os.environ.get(JIT_ENV)
+    if value is not None:
+        return value.strip().lower() not in _FALSY
+    return True
+
+
+def active_cache_root() -> str | None:
+    """Scoped cache-root override (``Session(cache_dir=...)``), if any."""
+    for _override, root in reversed(_stack()):
+        if root is not None:
+            return root
+    return None
+
+
+@contextlib.contextmanager
+def context(
+    enabled: bool | None = None, cache_dir: str | None = None
+) -> Iterator[None]:
+    """Scope a JIT enable/disable and/or cache root to a ``with`` block.
+
+    ``None`` leaves the surrounding setting in force, so callers can
+    thread optional per-session knobs straight through.  Thread-local:
+    concurrent serving threads don't see each other's overrides.
+    """
+    _stack().append((enabled, cache_dir))
+    try:
+        yield
+    finally:
+        _stack().pop()
+
+
+def set_enabled(value: bool | None) -> None:
+    """Process-wide default (the CLI's ``--jit/--no-jit``).
+
+    Exported through :data:`JIT_ENV` so worker processes spawned by
+    :mod:`repro.runtime` and :mod:`repro.serving.cluster` resolve the
+    same setting.  ``None`` is a no-op (flag not given)."""
+    if value is None:
+        return
+    os.environ[JIT_ENV] = "1" if value else "0"
+
+
+def kernel_for(
+    kind: str,
+    input_size: int,
+    hidden_size: int,
+    batch: int,
+    time: int,
+    dtype: str = "float32",
+) -> Callable | None:
+    """The compiled kernel for a dispatch site — or None for "use the
+    reference path" (JIT off, unsupported signature, failed compile)."""
+    if not enabled():
+        STATS.record_disabled()
+        return None
+    try:
+        sig = KernelSignature(
+            kind=kind, input_size=input_size, hidden_size=hidden_size,
+            batch=batch, time=time, dtype=dtype,
+        )
+    except ValueError:
+        return None
+    return _cached_kernel_for(sig, cache_root=active_cache_root())
+
+
+def stats() -> dict:
+    """JSON-ready snapshot of this process's JIT activity."""
+    return {"enabled": enabled(), **STATS.snapshot()}
+
+
+def reset_stats() -> None:
+    STATS.reset()
+
+
+__all__ = [
+    "GENERATOR_VERSION",
+    "JIT_ENV",
+    "KernelSignature",
+    "UNROLL_LIMIT",
+    "active_cache_root",
+    "clear_registry",
+    "context",
+    "disk_path",
+    "disk_summary",
+    "enabled",
+    "generate",
+    "kernel_for",
+    "registry_size",
+    "reset_stats",
+    "set_enabled",
+    "stats",
+]

@@ -1,0 +1,201 @@
+"""Two-level kernel cache: in-process registry + ``<cache>/jit/`` on disk.
+
+Lookup order for a signature:
+
+1. **registry** — compiled callables living in this process, keyed by
+   the signature's content address.  Every later call in the process is
+   a dict hit;
+2. **disk** — ``<cache>/jit/<key>.py`` holds the *published source* of
+   a previously generated kernel.  A hit is exec-compiled (cheap)
+   without re-running the generator, which is what lets spawned cluster
+   workers and :class:`~repro.runtime.pool.ParallelMap` children reuse
+   the parent's specializations;
+3. **generate** — :mod:`repro.jit.codegen` emits fresh source, which is
+   compiled, registered and atomically published (tmp file +
+   ``os.replace``, the :mod:`repro.ml.serialize` pattern) so concurrent
+   writers race benignly: one wins the rename, the rest overwrite with
+   byte-identical content.
+
+Disk entries are validated by the meta line the generator embeds
+(signature + generator version): stale-version, foreign-signature or
+corrupt files are *ignored* — treated as a miss and overwritten — never
+an error.  The cache directory respects ``REPRO_CACHE_DIR`` /
+``--cache-dir`` through :func:`repro.cache.jit_cache_dir`, exactly like
+``features/`` and ``stages/``.
+
+A signature whose generation or compilation fails is blacklisted for
+the life of the process (the reference kernels serve it) and counted in
+the stats — the compiled tier must never take serving down.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Callable
+
+from repro.cache import jit_cache_dir
+from repro.jit.codegen import META_PREFIX, generate
+from repro.jit.signature import GENERATOR_VERSION, KernelSignature
+from repro.jit.stats import STATS
+
+_registry: dict[str, Callable] = {}
+_failed: set[str] = set()
+_lock = threading.Lock()
+
+
+def clear_registry() -> None:
+    """Drop every in-process kernel (tests; disk entries survive)."""
+    with _lock:
+        _registry.clear()
+        _failed.clear()
+
+
+def registry_size() -> int:
+    with _lock:
+        return len(_registry)
+
+
+def disk_path(sig: KernelSignature, cache_root: str | None = None) -> str:
+    """Where ``sig``'s published source lives under the cache root."""
+    return os.path.join(jit_cache_dir(cache_root), f"{sig.key()}.py")
+
+
+def _parse_meta(source: str) -> dict | None:
+    for line in source.splitlines()[:16]:
+        if line.startswith(META_PREFIX):
+            try:
+                return json.loads(line[len(META_PREFIX):])
+            except ValueError:
+                return None
+    return None
+
+
+def _load_source(path: str, sig: KernelSignature) -> str | None:
+    """Published source for ``sig`` — or None when missing, written by a
+    different generator version, mismatched or corrupt (all misses)."""
+    try:
+        with open(path) as fh:
+            source = fh.read()
+    except OSError:
+        return None
+    meta = _parse_meta(source)
+    if not meta or meta.get("generator_version") != GENERATOR_VERSION:
+        return None
+    if meta.get("signature") != sig.to_dict():
+        return None
+    return source
+
+
+def _publish(path: str, source: str) -> None:
+    """Atomic publish: a reader sees the whole module or nothing."""
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    tmp = f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
+    try:
+        with open(tmp, "w") as fh:
+            fh.write(source)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
+def _compile(source: str, key: str) -> Callable:
+    namespace: dict = {}
+    code = compile(source, f"<repro-jit:{key}>", "exec")
+    exec(code, namespace)
+    return namespace["kernel"]
+
+
+def _timed(sig: KernelSignature, fn: Callable) -> Callable:
+    def kernel(*args):
+        start = time.perf_counter()
+        out = fn(*args)
+        STATS.record_call(sig, time.perf_counter() - start)
+        return out
+
+    return kernel
+
+
+def kernel_for(
+    sig: KernelSignature, cache_root: str | None = None
+) -> Callable | None:
+    """The compiled kernel for ``sig`` — or None when compilation failed
+    (callers fall back to the reference path)."""
+    key = sig.key()
+    with _lock:
+        fn = _registry.get(key)
+        if fn is not None:
+            STATS.record_registry_hit()
+            return fn
+        if key in _failed:
+            return None
+    # Compile outside the lock: compiles are rare and a racing duplicate
+    # produces byte-identical source, so the work is merely redundant.
+    start = time.perf_counter()
+    try:
+        path = disk_path(sig, cache_root)
+        source = _load_source(path, sig)
+        from_disk = source is not None
+        if source is None:
+            source = generate(sig)
+        raw = _compile(source, key)
+        if not from_disk:
+            try:
+                _publish(path, source)
+            except OSError:
+                pass  # the disk tier is an optimization, not a dependency
+    except Exception:
+        STATS.record_error()
+        with _lock:
+            _failed.add(key)
+        return None
+    STATS.record_compile(sig, time.perf_counter() - start, from_disk)
+    wrapped = _timed(sig, raw)
+    with _lock:
+        return _registry.setdefault(key, wrapped)
+
+
+def disk_summary(cache_root: str | None = None) -> dict:
+    """What's published under ``<cache>/jit/`` (for ``repro models show``).
+
+    Stale or unreadable entries are counted, not raised."""
+    directory = jit_cache_dir(cache_root)
+    kernels: list[dict] = []
+    stale = 0
+    try:
+        names = sorted(os.listdir(directory))
+    except OSError:
+        names = []
+    for name in names:
+        if not name.endswith(".py"):
+            continue
+        path = os.path.join(directory, name)
+        try:
+            with open(path) as fh:
+                meta = _parse_meta(fh.read())
+            size = os.path.getsize(path)
+        except OSError:
+            continue
+        if not meta or meta.get("generator_version") != GENERATOR_VERSION:
+            stale += 1
+            continue
+        try:
+            sig = KernelSignature.from_dict(meta["signature"])
+        except (KeyError, TypeError, ValueError):
+            stale += 1
+            continue
+        kernels.append({
+            "key": name[:-3],
+            "label": sig.label,
+            "signature": sig.to_dict(),
+            "bytes": size,
+        })
+    return {
+        "dir": directory,
+        "generator_version": GENERATOR_VERSION,
+        "kernels": kernels,
+        "stale": stale,
+    }

@@ -1,0 +1,71 @@
+"""Kernel signatures: the unit of specialization.
+
+A :class:`KernelSignature` pins everything the code generator bakes into
+an emitted module — op kind, layer dimensions, batch and sequence
+length, dtype — plus the generator version.  Two call sites with equal
+signatures share one compiled kernel; anything else is a different
+kernel.  The signature's :meth:`key` is the content address used by both
+cache levels (the in-process registry and ``<cache>/jit/`` on disk), so
+bumping :data:`GENERATOR_VERSION` retires every previously published
+artifact without touching it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+#: Bump whenever generated code changes shape or numerics: old disk
+#: entries stop matching any key and are ignored (never loaded, never a
+#: crash).
+GENERATOR_VERSION = 2
+
+#: Op kinds the generator knows how to emit.
+KINDS = ("lstm", "gru")
+
+
+@dataclass(frozen=True)
+class KernelSignature:
+    """One shape-specialized kernel: ``(kind, dims, batch, seq, dtype)``."""
+
+    kind: str  # "lstm" | "gru"
+    input_size: int
+    hidden_size: int
+    batch: int
+    time: int
+    dtype: str = "float32"
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown kernel kind {self.kind!r}; "
+                             f"expected one of {KINDS}")
+        for field in ("input_size", "hidden_size", "batch", "time"):
+            if getattr(self, field) < 1:
+                raise ValueError(f"{field} must be positive")
+        if self.dtype != "float32":
+            raise ValueError(
+                f"unsupported dtype {self.dtype!r}: the ml substrate is "
+                "float32 end to end"
+            )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "KernelSignature":
+        return cls(**payload)
+
+    def key(self, generator_version: int = GENERATOR_VERSION) -> str:
+        """Content address: signature fields + generator version."""
+        identity = json.dumps(
+            {**self.to_dict(), "generator_version": generator_version},
+            sort_keys=True,
+        )
+        return hashlib.sha256(identity.encode()).hexdigest()[:16]
+
+    @property
+    def label(self) -> str:
+        """Human-readable form (stats, ``repro models show``)."""
+        return (f"{self.kind} f{self.input_size} h{self.hidden_size} "
+                f"b{self.batch} t{self.time} {self.dtype}")

@@ -1,0 +1,99 @@
+"""Process-local JIT counters: compiles, cache hits, per-signature timing.
+
+One global, lock-guarded :class:`JitStats` instance records what the
+compilation tier did in this process.  It is surfaced through
+``GET /v1/stats`` (per serving worker), ``repro models show`` and the
+benchmark reports, so a run can always answer "did this actually serve
+compiled kernels, and how often did the disk cache save a compile?".
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.jit.signature import KernelSignature
+
+
+class JitStats:
+    """Counters + per-signature call/compile timings (thread-safe)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        with self._lock:
+            self.compiles = 0  # generated + exec-compiled here
+            self.registry_hits = 0  # served from the in-process registry
+            self.disk_hits = 0  # source reused from <cache>/jit/
+            self.errors = 0  # codegen/compile failures (fell back)
+            self.disabled_calls = 0  # dispatches while JIT was off
+            self._signatures: dict[str, dict] = {}
+
+    # -- recording --------------------------------------------------------
+    def _entry(self, sig: KernelSignature) -> dict:
+        key = sig.key()
+        entry = self._signatures.get(key)
+        if entry is None:
+            entry = self._signatures[key] = {
+                "signature": sig.to_dict(),
+                "label": sig.label,
+                "calls": 0,
+                "seconds": 0.0,
+                "compile_seconds": 0.0,
+                "source": None,  # "compiled" | "disk"
+            }
+        return entry
+
+    def record_compile(
+        self, sig: KernelSignature, seconds: float, from_disk: bool
+    ) -> None:
+        with self._lock:
+            entry = self._entry(sig)
+            entry["compile_seconds"] += seconds
+            entry["source"] = "disk" if from_disk else "compiled"
+            if from_disk:
+                self.disk_hits += 1
+            else:
+                self.compiles += 1
+
+    def record_call(self, sig: KernelSignature, seconds: float) -> None:
+        with self._lock:
+            entry = self._entry(sig)
+            entry["calls"] += 1
+            entry["seconds"] += seconds
+
+    def record_registry_hit(self) -> None:
+        with self._lock:
+            self.registry_hits += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
+    def record_disabled(self) -> None:
+        with self._lock:
+            self.disabled_calls += 1
+
+    # -- reporting --------------------------------------------------------
+    def snapshot(self) -> dict:
+        """A JSON-ready copy of every counter and per-signature row."""
+        with self._lock:
+            return {
+                "compiles": self.compiles,
+                "registry_hits": self.registry_hits,
+                "disk_hits": self.disk_hits,
+                "errors": self.errors,
+                "disabled_calls": self.disabled_calls,
+                "kernel_calls": sum(
+                    entry["calls"] for entry in self._signatures.values()
+                ),
+                "signatures": {
+                    key: dict(entry)
+                    for key, entry in self._signatures.items()
+                },
+            }
+
+
+#: The process-wide instance (see :func:`repro.jit.stats`).
+STATS = JitStats()

@@ -18,7 +18,16 @@ from typing import Iterable
 
 import numpy as np
 
+from repro.ml.activations import stable_sigmoid
+
 _grad_enabled = True
+
+
+def grad_enabled() -> bool:
+    """Whether graph construction is currently on (False under
+    :func:`no_grad`) — layers use this to route no-grad forwards onto
+    the fused inference kernels."""
+    return _grad_enabled
 
 
 @contextlib.contextmanager
@@ -254,11 +263,8 @@ class Tensor:
         return Tensor._result(out_data, (self,), backward)
 
     def sigmoid(self):
-        # numerically stable piecewise formulation
-        x = self.data
-        out_data = np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.abs(x))),
-                            np.exp(-np.abs(x)) / (1.0 + np.exp(-np.abs(x))))
-        out_data = out_data.astype(x.dtype)
+        # numerically stable piecewise formulation (shared gate math)
+        out_data = stable_sigmoid(self.data)
 
         def backward(grad):
             self._accumulate(grad * out_data * (1.0 - out_data))

@@ -30,6 +30,10 @@ from typing import Iterator, Sequence
 
 import numpy as np
 
+# the one shared formulation of the gate math (autograd, these reference
+# kernels and the repro.jit code generator all import it from there)
+from repro.ml.activations import stable_sigmoid
+
 __all__ = [
     "stable_sigmoid",
     "lstm_infer",
@@ -38,11 +42,23 @@ __all__ = [
 ]
 
 
-def stable_sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable sigmoid matching ``Tensor.sigmoid`` exactly."""
-    e = np.exp(-np.abs(x))
-    out = np.where(x >= 0, 1.0 / (1.0 + e), e / (1.0 + e))
-    return out.astype(x.dtype, copy=False)
+def _jit_kernel(kind: str, cell, batch: int, time: int):
+    """The compiled kernel for one cell dispatch — or None (reference).
+
+    The signature is read off the live call: the cell's layer dims plus
+    the chunk's batch and sequence length.  :mod:`repro.jit` owns every
+    policy question (enabled? cached? compilable?); a None answer keeps
+    the numpy reference path below as the always-on fallback.
+    """
+    from repro import jit
+
+    return jit.kernel_for(
+        kind,
+        input_size=cell.xw.weight.data.shape[0],
+        hidden_size=cell.hidden_size,
+        batch=batch,
+        time=time,
+    )
 
 
 def _as_f32(x: np.ndarray) -> np.ndarray:
@@ -97,7 +113,7 @@ def lstm_infer(
     x = _as_f32(x)
     if x.ndim != 3:
         raise ValueError("LSTM expects (batch, time, features)")
-    batch = x.shape[0]
+    batch, time = x.shape[0], x.shape[1]
     H = lstm.hidden_size
     if state is None:
         state = lstm.initial_state(batch)
@@ -105,15 +121,30 @@ def lstm_infer(
     inputs = x
     for layer in range(lstm.num_layers):
         h0, c0 = state[layer]
-        out = np.empty((batch, x.shape[1], H), dtype=np.float32)
-        h, c = _lstm_cell_infer(lstm.cells[layer], inputs, h0, c0, out)
+        cell = lstm.cells[layer]
+        out = np.empty((batch, time, H), dtype=np.float32)
+        kernel = _jit_kernel("lstm", cell, batch, time)
+        if kernel is not None:
+            h, c = kernel(
+                cell.xw.weight.data, cell.xw.bias.data, cell.hw.weight.data,
+                inputs, h0, c0, out,
+            )
+        else:
+            h, c = _lstm_cell_infer(cell, inputs, h0, c0, out)
         final_state.append((h.copy(), c.copy()))
         if lstm.bidirectional:
+            rev_cell = lstm.cells_rev[layer]
             zeros = np.zeros((batch, H), dtype=np.float32)
             rev = np.empty_like(out)
-            _lstm_cell_infer(
-                lstm.cells_rev[layer], inputs[:, ::-1], zeros, zeros, rev
-            )
+            kernel = _jit_kernel("lstm", rev_cell, batch, time)
+            if kernel is not None:
+                kernel(
+                    rev_cell.xw.weight.data, rev_cell.xw.bias.data,
+                    rev_cell.hw.weight.data, inputs[:, ::-1], zeros, zeros,
+                    rev,
+                )
+            else:
+                _lstm_cell_infer(rev_cell, inputs[:, ::-1], zeros, zeros, rev)
             inputs = np.concatenate([out, rev[:, ::-1]], axis=-1)
         else:
             inputs = out
@@ -150,16 +181,22 @@ def gru_infer(gru, x: np.ndarray, state=None) -> tuple[np.ndarray, list[np.ndarr
     x = _as_f32(x)
     if x.ndim != 3:
         raise ValueError("GRU expects (batch, time, features)")
-    batch = x.shape[0]
+    batch, time = x.shape[0], x.shape[1]
     if state is None:
         state = gru.initial_state(batch)
     final_state: list[np.ndarray] = []
     inputs = x
     for layer in range(gru.num_layers):
-        out = np.empty(
-            (batch, x.shape[1], gru.hidden_size), dtype=np.float32
-        )
-        h = _gru_cell_infer(gru.cells[layer], inputs, state[layer], out)
+        cell = gru.cells[layer]
+        out = np.empty((batch, time, gru.hidden_size), dtype=np.float32)
+        kernel = _jit_kernel("gru", cell, batch, time)
+        if kernel is not None:
+            h = kernel(
+                cell.xw.weight.data, cell.xw.bias.data, cell.hw.weight.data,
+                inputs, state[layer], out,
+            )
+        else:
+            h = _gru_cell_infer(cell, inputs, state[layer], out)
         final_state.append(h.copy())
         inputs = out
     return inputs, final_state

@@ -12,9 +12,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.autograd import Tensor, concat, stack
+from repro.ml.autograd import Tensor, concat, grad_enabled, stack
 from repro.ml.inference import gru_infer, lstm_infer
 from repro.ml.layers import Linear, Module
+
+
+def _raw(x) -> np.ndarray:
+    """The ndarray behind a forward input (Tensor or already raw)."""
+    return x.data if isinstance(x, Tensor) else x
 
 
 class LSTMCell(Module):
@@ -112,6 +117,11 @@ class LSTM(Module):
         """Returns (outputs (B, T, D), final detached state per layer)."""
         if x.ndim != 3:
             raise ValueError("LSTM expects (batch, time, features)")
+        if not grad_enabled():
+            # no graph wanted: the fused kernels (and, when enabled, the
+            # repro.jit compiled tier) serve the training-code call sites
+            out, final_state = lstm_infer(self, _raw(x), state)
+            return Tensor(out), final_state
         batch, time, _ = x.shape
         if state is None:
             state = self.initial_state(batch)
@@ -171,6 +181,9 @@ class GRU(Module):
     ) -> tuple[Tensor, list[np.ndarray]]:
         if x.ndim != 3:
             raise ValueError("GRU expects (batch, time, features)")
+        if not grad_enabled():
+            out, final_state = gru_infer(self, _raw(x), state)
+            return Tensor(out), final_state
         batch, time, _ = x.shape
         if state is None:
             state = self.initial_state(batch)

@@ -87,6 +87,7 @@ def _worker_main(conn, options: dict) -> None:
         model_cache=options["model_cache"],
         feature_cache=options["feature_cache"],
         mmap=options["mmap"],
+        jit=options.get("jit"),
     )
     while True:
         try:
@@ -127,6 +128,11 @@ def _handle_control(service: PredictionService, cid: int, payload: dict):
     try:
         if op == "ping":
             return ("ctl-ok", cid, {"pid": os.getpid()})
+        if op == "stats":
+            # the worker's own service counters — including its jit
+            # section, so the frontend can report whether this process
+            # answered from compiled or reference kernels
+            return ("ctl-ok", cid, service.stats())
         if op == "swap":
             # preload: after the ack this artifact is warm in the LRU,
             # so switching the route never serves a cold/partial model
@@ -178,10 +184,13 @@ class PredictionCluster:
         model_cache: int = 4,
         feature_cache: int = 64,
         mmap: bool = True,
+        jit: bool | None = None,
     ):
         if workers < 1:
             raise ValueError("a cluster needs at least one worker")
-        self.session = session or Session(scale=scale, cache_dir=cache_dir)
+        self.session = session or Session(
+            scale=scale, cache_dir=cache_dir, jit=jit
+        )
         self.workers = workers
         self._options = {
             "scale": self.session.scale.name,
@@ -189,6 +198,9 @@ class PredictionCluster:
             "model_cache": model_cache,
             "feature_cache": feature_cache,
             "mmap": mmap,
+            # None defers to the REPRO_JIT environment the worker
+            # inherits; True/False pins the compiled tier per worker
+            "jit": self.session.jit,
         }
         self.dispatcher = Dispatcher(
             policy=policy, on_worker_lost=self._on_worker_lost
@@ -315,7 +327,7 @@ class PredictionCluster:
         proc.kill()
         return worker_id
 
-    def stats(self) -> dict:
+    def stats(self, worker_timeout_s: float = 2.0) -> dict:
         with self._lock:
             pids = {
                 str(wid): proc.pid for wid, proc in sorted(self._procs.items())
@@ -325,7 +337,31 @@ class PredictionCluster:
             **self.dispatcher.stats(),
             "worker_pids": pids,
             "routes": routes,
+            "worker_stats": self._collect_worker_stats(worker_timeout_s),
         }
+
+    def _collect_worker_stats(self, timeout_s: float) -> dict:
+        """Best-effort per-worker service counters (jit activity included).
+
+        Control round-trips fan out to every live worker in parallel; a
+        worker that dies or stalls contributes an ``error`` entry instead
+        of failing the whole stats call.
+        """
+        if not self._started:
+            return {}
+        acks = [
+            (wid, self.dispatcher.control(wid, {"op": "stats"}))
+            for wid in self.dispatcher.alive_workers()
+        ]
+        collected: dict = {}
+        for wid, ack in acks:
+            try:
+                collected[str(wid)] = ack.result(timeout=timeout_s)
+            except Exception as exc:
+                collected[str(wid)] = {
+                    "error": f"{type(exc).__name__}: {exc}"
+                }
+        return collected
 
     # -- internals --------------------------------------------------------
     def _spawn_worker(self) -> int:

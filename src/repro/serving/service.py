@@ -149,8 +149,11 @@ class PredictionService:
         max_batch: int = 64,
         batch_window_s: float = 0.002,
         mmap: bool = False,
+        jit: bool | None = None,
     ):
-        self.session = session or Session(scale=scale, cache_dir=cache_dir)
+        self.session = session or Session(
+            scale=scale, cache_dir=cache_dir, jit=jit
+        )
         self.max_batch = max_batch
         self.batch_window_s = batch_window_s
         self.mmap = mmap
@@ -226,7 +229,9 @@ class PredictionService:
                 )
                 for i in indices
             ]
-            for i, times in zip(indices, model.predict_batch(batch)):
+            with self.session._jit_scope():
+                batch_times = model.predict_batch(batch)
+            for i, times in zip(indices, batch_times):
                 named = dict(zip(model.config_names, times.tolist()))
                 config = requests[i].config
                 if config is not None:
@@ -262,6 +267,27 @@ class PredictionService:
             for request in requests:
                 out.extend(self.predict_each([request]))
             return out
+
+    # -- introspection ----------------------------------------------------
+    def stats(self) -> dict:
+        """Service counters for ``GET /v1/stats`` (single-process mode).
+
+        The ``jit`` section is this process's compiled-kernel activity —
+        compile counts, registry/disk hits, per-signature timings — taken
+        under the session's jit scope so ``enabled`` reflects what the
+        engine passes actually see.
+        """
+        from repro import jit
+
+        with self._lock:
+            payload = {
+                "scale": self.session.scale.name,
+                "models_cached": len(self._models),
+                "features_cached": len(self._features),
+            }
+        with self.session._jit_scope():
+            payload["jit"] = jit.stats()
+        return payload
 
     # -- micro-batching queue --------------------------------------------
     def submit(self, request: ServeRequest) -> Future:

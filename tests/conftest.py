@@ -9,13 +9,13 @@ import pytest
 def _isolate_repro_env():
     """Undo ``REPRO_*`` env mutations after every test.
 
-    The CLI's ``--cache-dir``/``--results-dir`` flags export
-    ``REPRO_CACHE_DIR``/``REPRO_RESULTS_DIR`` process-wide (so worker
-    processes resolve the same roots); without this fixture a test that
-    exercises those flags would silently redirect every later test's
-    caches and results.
+    The CLI's ``--cache-dir``/``--results-dir``/``--jit`` flags export
+    ``REPRO_CACHE_DIR``/``REPRO_RESULTS_DIR``/``REPRO_JIT`` process-wide
+    (so worker processes resolve the same settings); without this
+    fixture a test that exercises those flags would silently redirect
+    every later test's caches, results or kernel tier.
     """
-    variables = ("REPRO_CACHE_DIR", "REPRO_RESULTS_DIR")
+    variables = ("REPRO_CACHE_DIR", "REPRO_RESULTS_DIR", "REPRO_JIT")
     saved = {var: os.environ.get(var) for var in variables}
     yield
     for var, value in saved.items():

@@ -1,0 +1,281 @@
+"""The two-level kernel cache: registry, disk tier, concurrency, knobs."""
+
+import json
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import jit
+from repro.jit.cache import disk_path, kernel_for
+from repro.jit.codegen import META_PREFIX
+from repro.jit.signature import KernelSignature
+from repro.runtime import ParallelMap
+
+SIG = KernelSignature(
+    kind="lstm", input_size=7, hidden_size=5, batch=2, time=4
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_jit():
+    """Every test starts with an empty registry and zeroed counters."""
+    jit.clear_registry()
+    jit.reset_stats()
+    yield
+    jit.clear_registry()
+    jit.reset_stats()
+
+
+def _lstm_inputs(sig: KernelSignature, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    B, T, F, H = sig.batch, sig.time, sig.input_size, sig.hidden_size
+    return (
+        rng.standard_normal((F, 4 * H)).astype(np.float32),  # wx
+        rng.standard_normal(4 * H).astype(np.float32),  # bx
+        rng.standard_normal((H, 4 * H)).astype(np.float32),  # wh
+        rng.standard_normal((B, T, F)).astype(np.float32),  # x
+        np.zeros((B, H), np.float32),  # h0
+        np.zeros((B, H), np.float32),  # c0
+        np.empty((B, T, H), np.float32),  # out
+    )
+
+
+# ---------------------------------------------------------------------------
+# keying + disk round trip
+# ---------------------------------------------------------------------------
+def test_compile_registers_and_publishes(tmp_path):
+    fn = kernel_for(SIG, cache_root=str(tmp_path))
+    assert fn is not None
+    assert jit.registry_size() == 1
+    path = disk_path(SIG, str(tmp_path))
+    assert os.path.exists(path)
+    snap = jit.stats()
+    assert snap["compiles"] == 1
+    assert snap["signatures"][SIG.key()]["source"] == "compiled"
+
+
+def test_second_call_is_a_registry_hit(tmp_path):
+    first = kernel_for(SIG, cache_root=str(tmp_path))
+    second = kernel_for(SIG, cache_root=str(tmp_path))
+    assert first is second
+    assert jit.stats()["registry_hits"] == 1
+
+
+def test_disk_round_trip_skips_the_generator(tmp_path, monkeypatch):
+    kernel_for(SIG, cache_root=str(tmp_path))
+    jit.clear_registry()
+    jit.reset_stats()
+
+    def _boom(sig):  # a disk hit must never re-generate
+        raise AssertionError("generate() called despite a published entry")
+
+    monkeypatch.setattr("repro.jit.cache.generate", _boom)
+    fn = kernel_for(SIG, cache_root=str(tmp_path))
+    assert fn is not None
+    snap = jit.stats()
+    assert snap["disk_hits"] == 1
+    assert snap["signatures"][SIG.key()]["source"] == "disk"
+
+
+def test_disk_and_fresh_kernels_answer_identically(tmp_path):
+    args = _lstm_inputs(SIG)
+    fresh = kernel_for(SIG, cache_root=str(tmp_path))
+    h1, c1 = fresh(*args)
+    out1 = args[-1].copy()
+    jit.clear_registry()
+    reloaded = kernel_for(SIG, cache_root=str(tmp_path))
+    assert reloaded is not fresh
+    h2, c2 = reloaded(*args)
+    np.testing.assert_array_equal(out1, args[-1])
+    np.testing.assert_array_equal(h1, h2)
+    np.testing.assert_array_equal(c1, c2)
+
+
+# ---------------------------------------------------------------------------
+# stale / corrupt disk entries
+# ---------------------------------------------------------------------------
+def _write(path: str, text: str) -> None:
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w") as fh:
+        fh.write(text)
+
+
+def test_wrong_version_meta_is_ignored_and_overwritten(tmp_path):
+    """A same-key file claiming another generator version (corruption,
+    foreign writer) is treated as a miss, not an error."""
+    path = disk_path(SIG, str(tmp_path))
+    meta = {"signature": SIG.to_dict(), "generator_version": -1}
+    _write(path, META_PREFIX + json.dumps(meta) + "\nraise Exception\n")
+    fn = kernel_for(SIG, cache_root=str(tmp_path))
+    assert fn is not None
+    assert jit.stats()["disk_hits"] == 0  # regenerated
+    with open(path) as fh:
+        assert "def kernel" in fh.read()  # republished over the junk
+
+
+def test_garbage_file_is_ignored(tmp_path):
+    path = disk_path(SIG, str(tmp_path))
+    _write(path, "\x00\x01 not python at all")
+    fn = kernel_for(SIG, cache_root=str(tmp_path))
+    assert fn is not None
+    assert jit.stats()["errors"] == 0
+
+
+def test_disk_summary_counts_stale_entries(tmp_path):
+    kernel_for(SIG, cache_root=str(tmp_path))
+    meta = {"signature": SIG.to_dict(), "generator_version": -1}
+    _write(
+        os.path.join(str(tmp_path), "jit", "feedfacedeadbeef.py"),
+        META_PREFIX + json.dumps(meta) + "\n",
+    )
+    summary = jit.disk_summary(str(tmp_path))
+    assert summary["stale"] == 1
+    assert [k["key"] for k in summary["kernels"]] == [SIG.key()]
+
+
+def test_failed_generation_blacklists_the_signature(tmp_path, monkeypatch):
+    calls = []
+
+    def _boom(sig):
+        calls.append(sig)
+        raise RuntimeError("codegen bug")
+
+    monkeypatch.setattr("repro.jit.cache.generate", _boom)
+    assert kernel_for(SIG, cache_root=str(tmp_path)) is None
+    assert kernel_for(SIG, cache_root=str(tmp_path)) is None
+    assert len(calls) == 1  # second call answered from the blacklist
+    assert jit.stats()["errors"] == 1
+
+
+# ---------------------------------------------------------------------------
+# concurrency
+# ---------------------------------------------------------------------------
+def test_concurrent_threads_share_one_registration(tmp_path):
+    results = [None] * 8
+    barrier = threading.Barrier(len(results))
+
+    def _race(i):
+        barrier.wait()
+        results[i] = kernel_for(SIG, cache_root=str(tmp_path))
+
+    threads = [
+        threading.Thread(target=_race, args=(i,))
+        for i in range(len(results))
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert all(fn is results[0] and fn is not None for fn in results)
+    assert jit.registry_size() == 1
+    # the published file is whole regardless of who won the rename
+    with open(disk_path(SIG, str(tmp_path))) as fh:
+        assert "def kernel" in fh.read()
+    assert not [
+        name for name in os.listdir(os.path.join(str(tmp_path), "jit"))
+        if name.endswith(".tmp")
+    ]
+
+
+def _spawned_probe(args):
+    """Runs in a spawned worker: compile-or-load and report provenance."""
+    cache_dir, sig_fields = args
+    from repro import jit as worker_jit
+    from repro.jit.cache import kernel_for as worker_kernel_for
+    from repro.jit.signature import KernelSignature as Sig
+
+    worker_jit.clear_registry()  # both items may land in one worker
+    worker_jit.reset_stats()
+    sig = Sig(**sig_fields)
+    fn = worker_kernel_for(sig, cache_root=cache_dir)
+    if fn is None:
+        return {"ok": False}
+    snap = worker_jit.stats()
+    return {
+        "ok": True,
+        "source": snap["signatures"][sig.key()]["source"],
+        "pid": os.getpid(),
+    }
+
+
+def test_spawned_workers_reuse_published_kernels(tmp_path):
+    """Cross-process reuse: the parent publishes once, spawned children
+    exec-compile the published source instead of re-generating."""
+    assert kernel_for(SIG, cache_root=str(tmp_path)) is not None
+    work = [(str(tmp_path), SIG.to_dict())] * 2
+    reports = ParallelMap(jobs=2).map(_spawned_probe, work)
+    assert all(r["ok"] for r in reports)
+    assert {r["source"] for r in reports} == {"disk"}
+    assert all(r["pid"] != os.getpid() for r in reports)
+
+
+def test_concurrent_process_writers_race_benignly(tmp_path):
+    """No parent pre-publish: both spawned workers generate + publish the
+    same content-addressed entry; the file stays whole either way."""
+    sig = KernelSignature(
+        kind="gru", input_size=6, hidden_size=4, batch=2, time=3
+    )
+    work = [(str(tmp_path), sig.to_dict())] * 2
+    reports = ParallelMap(jobs=2).map(_spawned_probe, work)
+    assert all(r["ok"] for r in reports)
+    with open(disk_path(sig, str(tmp_path))) as fh:
+        assert "def kernel" in fh.read()
+
+
+# ---------------------------------------------------------------------------
+# the control surface
+# ---------------------------------------------------------------------------
+def test_env_off_forces_reference_path(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "0")
+    assert not jit.enabled()
+    assert jit.kernel_for("lstm", 7, 5, batch=2, time=4) is None
+    assert jit.registry_size() == 0
+    assert jit.stats()["disabled_calls"] == 1
+
+
+def test_env_off_keeps_inference_correct(tmp_path, monkeypatch):
+    from repro.ml.recurrent import LSTM
+
+    lstm = LSTM(7, 5, rng=np.random.default_rng(3))
+    x = np.random.default_rng(4).standard_normal((2, 4, 7)).astype(np.float32)
+    with jit.context(enabled=True, cache_dir=str(tmp_path)):
+        out_jit, _ = lstm.infer(x)
+    monkeypatch.setenv("REPRO_JIT", "0")
+    out_ref, _ = lstm.infer(x)
+    np.testing.assert_allclose(out_ref, out_jit, atol=1e-6, rtol=0)
+
+
+def test_context_override_beats_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "0")
+    with jit.context(enabled=True, cache_dir=str(tmp_path)):
+        assert jit.enabled()
+        assert jit.kernel_for("lstm", 7, 5, batch=2, time=4) is not None
+    assert not jit.enabled()
+
+
+def test_context_is_thread_local(tmp_path):
+    seen = {}
+
+    def _other_thread():
+        seen["enabled"] = jit.enabled()
+
+    with jit.context(enabled=False):
+        t = threading.Thread(target=_other_thread)
+        t.start()
+        t.join()
+    assert seen["enabled"] is True  # the override never leaked across
+
+
+def test_unsupported_signature_falls_back():
+    assert jit.kernel_for("lstm", 0, 5, batch=2, time=4) is None
+    assert jit.kernel_for("attention", 7, 5, batch=2, time=4) is None
+
+
+def test_cache_dir_env_is_respected(tmp_path, monkeypatch):
+    """<cache>/jit/ honors REPRO_CACHE_DIR exactly like features/stages."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "redirected"))
+    fn = jit.kernel_for("lstm", 7, 5, batch=2, time=4)
+    assert fn is not None
+    assert os.path.isdir(tmp_path / "redirected" / "jit")

@@ -1,0 +1,64 @@
+"""Kernel signatures: content-addressed keying and validation."""
+
+import pytest
+
+from repro.jit.signature import GENERATOR_VERSION, KernelSignature
+
+
+def _sig(**overrides):
+    fields = dict(
+        kind="lstm", input_size=51, hidden_size=16, batch=8, time=32,
+        dtype="float32",
+    )
+    fields.update(overrides)
+    return KernelSignature(**fields)
+
+
+def test_key_is_deterministic():
+    assert _sig().key() == _sig().key()
+
+
+@pytest.mark.parametrize(
+    "change",
+    [
+        {"kind": "gru"},
+        {"input_size": 52},
+        {"hidden_size": 32},
+        {"batch": 16},
+        {"time": 48},
+    ],
+)
+def test_every_field_feeds_the_key(change):
+    assert _sig().key() != _sig(**change).key()
+
+
+def test_generator_version_feeds_the_key():
+    """A generator bump retires every published entry: old files keep
+    their old-version filenames, so new lookups never even open them."""
+    sig = _sig()
+    assert sig.key() != sig.key(generator_version=GENERATOR_VERSION + 1)
+
+
+def test_dict_round_trip():
+    sig = _sig(kind="gru", batch=4)
+    assert KernelSignature.from_dict(sig.to_dict()) == sig
+
+
+def test_label_names_the_shape():
+    assert _sig().label == "lstm f51 h16 b8 t32 float32"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"kind": "transformer"},
+        {"dtype": "float64"},
+        {"input_size": 0},
+        {"hidden_size": -1},
+        {"batch": 0},
+        {"time": 0},
+    ],
+)
+def test_invalid_signatures_are_rejected(bad):
+    with pytest.raises(ValueError):
+        _sig(**bad)

@@ -2,12 +2,15 @@
 
 The acceptance bar for the serving refactor: inference-mode outputs match
 the training-mode (autograd) forward within 1e-6 for every architecture —
-LSTM, GRU, MLP and the full PerfVec predictor.
+LSTM, GRU, MLP and the full PerfVec predictor — on **both** inference
+tiers: the numpy reference kernels and the :mod:`repro.jit` compiled
+kernels (the ``jit_mode`` fixture runs every parity test each way).
 """
 
 import numpy as np
 import pytest
 
+from repro import jit
 from repro.core.foundation import make_foundation
 from repro.core.perfvec import PerfVec
 from repro.core.predictor import MicroarchTable
@@ -17,6 +20,25 @@ from repro.ml.inference import iter_chunk_batches
 ATOL = 1e-6
 RNG = np.random.default_rng(11)
 X = RNG.normal(size=(3, 17, 9)).astype(np.float32)
+
+
+@pytest.fixture(
+    autouse=True, params=[False, True], ids=["reference", "jit"]
+)
+def jit_mode(request, tmp_path):
+    """Run every parity test on both tiers, kernels sandboxed per test."""
+    jit.clear_registry()
+    with jit.context(enabled=request.param, cache_dir=str(tmp_path)):
+        yield request.param
+    jit.clear_registry()
+
+
+def test_jit_mode_really_compiles(jit_mode):
+    """The fixture must exercise the compiled tier, not silently fall
+    back — a compile (or registry entry) proves kernels actually ran."""
+    lstm = LSTM(9, 13, rng=np.random.default_rng(2))
+    lstm.infer(X)
+    assert (jit.registry_size() > 0) == jit_mode
 
 
 def _assert_close(a, b):
@@ -91,6 +113,17 @@ def test_perfvec_infer_matches_forward():
     preds_i, reps_i, _ = model.infer(X)
     _assert_close(reps_t.data, reps_i)
     _assert_close(preds_t.data, preds_i)
+
+
+@pytest.mark.parametrize("spec", ["lstm-2-8", "bilstm-1-8", "gru-1-8"])
+def test_compiled_tier_matches_reference_tier(spec, tmp_path):
+    """Direct tier-vs-tier parity (the training forward out of the loop)."""
+    foundation = make_foundation(spec, input_size=9, seed=12)
+    with jit.context(enabled=False):
+        ref, _ = foundation.infer(X)
+    with jit.context(enabled=True, cache_dir=str(tmp_path)):
+        jitted, _ = foundation.infer(X)
+    np.testing.assert_allclose(jitted, ref, atol=ATOL, rtol=0)
 
 
 def test_infer_builds_no_graph():

@@ -102,3 +102,27 @@ def test_input_rank_validated():
         lstm(Tensor(np.ones((3, 4), dtype=np.float32)))
     with pytest.raises(ValueError):
         LSTM(3, 4, num_layers=0)
+
+
+def test_forward_under_no_grad_routes_to_fused_path():
+    """With autograd off, LSTM/GRU forward serve the fused inference
+    kernels (Tensor-wrapped) instead of building a per-step graph."""
+    from repro.ml.autograd import no_grad
+
+    lstm = LSTM(input_size=5, hidden_size=7, num_layers=2, rng=rng())
+    gru = GRU(input_size=5, hidden_size=7, rng=rng())
+    x = rng().normal(size=(3, 4, 5)).astype(np.float32)
+    out_g, state_g = lstm(Tensor(x))
+    gout_g, gstate_g = gru(Tensor(x))
+    with no_grad():
+        out_n, state_n = lstm(Tensor(x))
+        gout_n, gstate_n = gru(Tensor(x))
+    assert isinstance(out_n, Tensor) and not out_n.requires_grad
+    assert isinstance(gout_n, Tensor)
+    np.testing.assert_allclose(out_n.numpy(), out_g.numpy(), atol=1e-6)
+    np.testing.assert_allclose(gout_n.numpy(), gout_g.numpy(), atol=1e-6)
+    for (h_g, c_g), (h_n, c_n) in zip(state_g, state_n):
+        np.testing.assert_allclose(h_n, h_g, atol=1e-6)
+        np.testing.assert_allclose(c_n, c_g, atol=1e-6)
+    for h_g, h_n in zip(gstate_g, gstate_n):
+        np.testing.assert_allclose(h_n, h_g, atol=1e-6)
