@@ -372,6 +372,9 @@ class Session:
         save: bool = False,
         force: bool = False,
         results_dir: str | None = None,
+        backend="local",
+        workers: int = 0,
+        backend_options: dict | None = None,
     ):
         """Execute a pipeline spec at this session's scale.
 
@@ -380,6 +383,9 @@ class Session:
         ``.toml``/``.json`` spec file.  Stages reuse their
         content-addressed artifacts (under this session's cache root),
         so repeating a pipeline re-executes only invalidated stages.
+        ``backend``/``workers`` select the executor — ``"queue"`` with
+        ``workers=N`` runs stages on N queue worker processes (plus any
+        external ``repro pipeline worker`` sharing the cache root).
         Returns a :class:`~repro.pipeline.PipelineResult`.
         """
         import os
@@ -406,6 +412,7 @@ class Session:
         return Runner(
             spec, scale=self.scale, cache_dir=self.cache_dir,
             results_dir=results_dir, jobs=self.jobs, save=save, force=force,
+            backend=backend, workers=workers, backend_options=backend_options,
         ).run()
 
     # -- inspection -------------------------------------------------------

@@ -53,6 +53,17 @@ def jit_cache_dir(root: str | None = None) -> str:
     return os.path.join(cache_root(root), "jit")
 
 
+def queue_dir(root: str | None = None) -> str:
+    """Where :mod:`repro.pipeline.queue` keeps its distributed work queue.
+
+    Lives under the cache root on purpose: every worker that shares the
+    cache root (same host or a shared filesystem) sees the same queue
+    *and* the same stage artifact store, which is what makes claiming
+    and publishing a single rendezvous point.
+    """
+    return os.path.join(cache_root(root), "queue")
+
+
 def results_dir(override: str | None = None, root: str | None = None) -> str:
     """Where experiment/pipeline result JSON files land.
 

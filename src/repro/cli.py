@@ -8,6 +8,7 @@ Subcommands::
     repro pipeline list             # registered pipeline specs + stages
     repro pipeline run <spec>       # a spec by name or .toml/.json path
     repro pipeline sweep <spec>     # expand a sweep grid, run every scenario
+    repro pipeline worker           # serve the distributed stage queue
     repro bench-suite --scale bench # trace + simulate the whole suite once
     repro train --scale smoke       # train (or reuse) a stored model
     repro predict 505.mcf --scale smoke   # serve predictions from the store
@@ -104,20 +105,59 @@ def _resolve_pipeline_spec(name: str):
     return get_spec(name)
 
 
+def _cmd_pipeline_worker(args) -> int:
+    """`repro pipeline worker`: serve the shared queue until stopped."""
+    from repro.pipeline.worker import run_worker
+
+    print(f"# repro pipeline worker: cache root queue "
+          f"(lease ttl {args.lease_ttl:.0f}s)", file=sys.stderr)
+    stats = run_worker(
+        worker_id=args.id,
+        lease_ttl_s=args.lease_ttl,
+        poll_s=args.poll,
+        idle_timeout_s=args.idle_timeout,
+        max_tasks=args.max_tasks,
+    )
+    print(f"worker {stats.worker}: {stats.executed} executed, "
+          f"{stats.stolen} stolen, {stats.dedup_skips} deduped, "
+          f"{stats.failures} failed, {stats.busy_s:.1f}s busy")
+    return 0
+
+
+def _backend_kwargs(args) -> dict:
+    """Executor selection flags -> Runner/run_sweep keyword arguments."""
+    options = {}
+    if args.backend == "queue":
+        options["lease_ttl_s"] = args.lease_ttl
+    return dict(backend=args.backend, workers=args.workers,
+                backend_options=options)
+
+
 def _cmd_pipeline(args) -> int:
     from repro.pipeline import (
         ExperimentSpec,
         Runner,
         SweepSpec,
         available_specs,
+        run_sweep,
     )
 
     if args.action == "list":
+        from repro.pipeline.presets import SWEEP_BUILDERS
+
         print("pipeline specs:")
         for name, spec in available_specs().items():
             stages = " -> ".join(s.name for s in spec.stages)
             print(f"  {name:<22s} {stages}")
+        print("sweep presets:")
+        for name, builder in SWEEP_BUILDERS.items():
+            sweep = builder()
+            print(f"  {name:<22s} {len(sweep)} scenario(s) over "
+                  f"{', '.join(sorted(sweep.matrix))}")
         return 0
+
+    if args.action == "worker":
+        return _cmd_pipeline_worker(args)
 
     if not args.spec:
         print(f"usage: repro pipeline {args.action} <spec-name-or-file>")
@@ -128,7 +168,7 @@ def _cmd_pipeline(args) -> int:
                            args.scale or base.scale or "bench", args.jobs))
     common = dict(
         scale=args.scale, jobs=args.jobs, results_dir=args.results_dir,
-        save=args.save, force=args.force,
+        save=args.save, force=args.force, **_backend_kwargs(args),
     )
     if args.action == "sweep":
         if isinstance(spec, ExperimentSpec):
@@ -136,14 +176,9 @@ def _cmd_pipeline(args) -> int:
                   "use `repro pipeline run` for single-scenario specs")
             return 2
         print(f"sweep {spec.name}: {len(spec)} scenario(s)")
-        total_executed = total_cached = 0
-        for scenario in spec.expand():
-            result = Runner(scenario, **common).run()
-            total_executed += result.executed
-            total_cached += result.cached
-            print(result.render())
-        print(f"sweep total: {total_executed} executed, "
-              f"{total_cached} cached")
+        progress = _progress(0) if args.backend == "queue" else None
+        result = run_sweep(spec, progress=progress, **common)
+        print(result.render())
         return 0
     if isinstance(spec, SweepSpec):
         print(f"note: {spec.name!r} declares a sweep of {len(spec)} "
@@ -392,7 +427,7 @@ def main(argv: list[str] | None = None) -> int:
     p_pipe = sub.add_parser(
         "pipeline", help="run declarative pipeline specs (see docs/API.md)"
     )
-    p_pipe.add_argument("action", choices=["run", "sweep", "list"])
+    p_pipe.add_argument("action", choices=["run", "sweep", "list", "worker"])
     p_pipe.add_argument(
         "spec", nargs="?", default=None,
         help="registered spec name or path to a .toml/.json spec file",
@@ -403,6 +438,37 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the report JSON to the results dir")
     p_pipe.add_argument("--force", action="store_true",
                         help="re-execute every stage, ignoring artifacts")
+    p_pipe.add_argument(
+        "--backend", choices=["local", "queue"], default="local",
+        help="stage executor: in-process waves (local, default) or the "
+             "distributed work-stealing queue under the cache root",
+    )
+    p_pipe.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="queue workers to spawn on this host (0: rely on external "
+             "`repro pipeline worker` processes; queue backend only)",
+    )
+    p_pipe.add_argument(
+        "--lease-ttl", type=float, default=30.0, metavar="SECONDS",
+        help="missed-heartbeat window before a queue task is re-issued",
+    )
+    p_pipe.add_argument(
+        "--id", default=None, metavar="WORKER_ID",
+        help="worker identity (worker action; default: host-pid)",
+    )
+    p_pipe.add_argument(
+        "--poll", type=float, default=0.05, metavar="SECONDS",
+        help="queue poll interval when idle (worker action)",
+    )
+    p_pipe.add_argument(
+        "--idle-timeout", type=float, default=None, metavar="SECONDS",
+        help="exit after this long without claimable work "
+             "(worker action; default: wait for the stop sentinel)",
+    )
+    p_pipe.add_argument(
+        "--max-tasks", type=int, default=None, metavar="N",
+        help="exit after claiming N tasks (worker action)",
+    )
     _add_jobs_flag(p_pipe)
     _add_cache_dir_flag(p_pipe)
     _add_results_dir_flag(p_pipe)

@@ -15,6 +15,13 @@ per-stage artifacts: a re-run only executes stages whose inputs changed.
 :meth:`repro.api.Session.run_pipeline` are the CLI/facade front ends.
 """
 
+from repro.pipeline.executors import (
+    BACKENDS,
+    ExecutorBackend,
+    LocalBackend,
+    QueueBackend,
+    make_backend,
+)
 from repro.pipeline.report import (
     ExperimentResult,
     render_surface,
@@ -25,6 +32,7 @@ from repro.pipeline.runner import (
     Runner,
     StageFailure,
     StageOutcome,
+    SweepResult,
     run_spec,
     run_sweep,
 )
@@ -61,21 +69,27 @@ def available_specs() -> dict:
 
 __all__ = [
     "ANALYSES",
+    "BACKENDS",
     "STAGE_KINDS",
+    "ExecutorBackend",
     "ExperimentResult",
     "ExperimentSpec",
+    "LocalBackend",
     "PipelineResult",
+    "QueueBackend",
     "Runner",
     "SpecError",
     "StageContext",
     "StageFailure",
     "StageOutcome",
     "StageSpec",
+    "SweepResult",
     "SweepSpec",
     "analysis",
     "available_specs",
     "get_spec",
     "load_spec",
+    "make_backend",
     "render_surface",
     "render_table",
     "run_spec",

@@ -12,6 +12,14 @@ cache by fingerprint and train stages reference the
 :class:`~repro.models.store.ModelStore` by artifact id.  A stage artifact
 is therefore small, diff-able provenance — what ran, with which inputs,
 producing which references.
+
+The store is safe for **concurrent writers and readers** (the
+distributed queue backend runs many worker processes against one root):
+publication is an atomic tmp-write + ``os.replace`` so readers only ever
+see whole records, a corrupt or partial record reads as a miss (the
+stage recomputes), racing writers of one key converge on a single record
+with the first publisher winning by default (``overwrite=False``), and
+temp files orphaned by a killed writer are reaped on store init.
 """
 
 from __future__ import annotations
@@ -20,11 +28,16 @@ import dataclasses
 import hashlib
 import json
 import os
+import time
 
 from repro.cache import stage_store_dir
 
 #: Bump when the artifact record layout changes incompatibly.
 STAGE_STORE_FORMAT = 1
+
+#: A ``.tmp`` file older than this is an orphan from a dead writer —
+#: live writers hold theirs for milliseconds — and is reaped on init.
+STALE_TMP_SECONDS = 600.0
 
 
 def _canonical(payload) -> bytes:
@@ -58,8 +71,11 @@ def stage_key(
 class StageArtifactStore:
     """Flat directory of ``<key>.json`` stage records."""
 
-    def __init__(self, root: str | None = None):
+    def __init__(self, root: str | None = None,
+                 tmp_ttl_s: float = STALE_TMP_SECONDS):
         self.root = root or stage_store_dir()
+        self.tmp_ttl_s = tmp_ttl_s
+        self.reap_stale_tmp()
 
     def path(self, key: str) -> str:
         return os.path.join(self.root, f"{key}.json")
@@ -74,13 +90,34 @@ class StageArtifactStore:
                 record = json.load(fh)
         except (OSError, json.JSONDecodeError):
             return None
-        if record.get("format") != STAGE_STORE_FORMAT:
+        if not isinstance(record, dict) or record.get("format") != STAGE_STORE_FORMAT:
+            return None
+        if "payload" not in record:
             return None
         return record
 
-    def put(self, key: str, stage_name: str, kind: str, spec_name: str,
-            payload: dict) -> str:
-        """Persist one stage record atomically; returns its path."""
+    def put(
+        self,
+        key: str,
+        stage_name: str,
+        kind: str,
+        spec_name: str,
+        payload: dict,
+        seconds: float | None = None,
+        worker: str | None = None,
+        overwrite: bool = True,
+    ) -> str:
+        """Persist one stage record atomically; returns its path.
+
+        With ``overwrite=False`` an existing valid record wins and this
+        publication is discarded — the protocol queue workers use so two
+        workers racing on one key converge without a rewrite.  The write
+        itself is tmp + ``os.replace``, so readers never observe a
+        partial record regardless of who wins.
+        """
+        path = self.path(key)
+        if not overwrite and self.get(key) is not None:
+            return path
         os.makedirs(self.root, exist_ok=True)
         record = {
             "format": STAGE_STORE_FORMAT,
@@ -90,7 +127,10 @@ class StageArtifactStore:
             "spec": spec_name,
             "payload": payload,
         }
-        path = self.path(key)
+        if seconds is not None:
+            record["seconds"] = round(float(seconds), 6)
+        if worker is not None:
+            record["worker"] = worker
         tmp = f"{path}.{os.getpid()}.tmp"
         with open(tmp, "w", encoding="utf-8") as fh:
             json.dump(record, fh, indent=2, default=str)
@@ -102,3 +142,28 @@ class StageArtifactStore:
             os.remove(self.path(key))
         except OSError:
             pass
+
+    def reap_stale_tmp(self) -> int:
+        """Delete ``.tmp`` files orphaned by dead writers; returns count.
+
+        A worker SIGKILLed between its tmp write and the ``os.replace``
+        leaves ``<key>.json.<pid>.tmp`` behind forever.  Anything older
+        than ``tmp_ttl_s`` cannot belong to a live writer, so init sweeps
+        it.  Fresh tmp files (a concurrent writer mid-publish) are left
+        alone.
+        """
+        if not os.path.isdir(self.root):
+            return 0
+        now = time.time()
+        reaped = 0
+        for name in os.listdir(self.root):
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(self.root, name)
+            try:
+                if now - os.stat(path).st_mtime > self.tmp_ttl_s:
+                    os.remove(path)
+                    reaped += 1
+            except OSError:
+                continue  # vanished under us: another reaper won
+        return reaped

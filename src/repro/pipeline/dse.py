@@ -1,0 +1,130 @@
+"""Cache-DSE as a sweep: one pipeline stage per (L1, L2, seed) point.
+
+The paper's Sec. VI-A design-space exploration is a natural stress test
+for distributed sweep execution: the grid is embarrassingly parallel
+(every point is one short simulation), the points share nothing, and
+multiplying the 6x6 cache grid by trace seeds scales the sweep to
+thousands of independent stages.  :func:`cache_dse_sweep` builds that
+sweep as a :class:`~repro.pipeline.SweepSpec` whose scenarios each hold
+a single ``dse_point`` analysis stage — submitted to the queue backend,
+the union DAG is a flat pile of ready tasks that idle workers steal
+from freely, which is exactly the shape ``benchmarks/bench_sweep.py``
+measures.
+
+This module lives in the package (not in a test or script) so spawned
+queue workers can import its analyses by name; it is imported by
+:mod:`repro.pipeline.presets`, which every worker loads.
+
+``synthetic_point`` is the test/bench analogue: a deterministic kernel
+with a controllable duration, for exercising the queue machinery
+without paying for simulation.
+"""
+
+from __future__ import annotations
+
+from repro.pipeline.spec import ExperimentSpec, SweepSpec, stage
+from repro.pipeline.stages import analysis
+
+#: Default benchmark for DSE point stages (fast to trace, cache-bound).
+DEFAULT_BENCHMARK = "505.mcf"
+
+
+@analysis("dse_point")
+def dse_point(ctx, params, inputs) -> dict:
+    """Simulate one cache-grid point; returns its time and objective.
+
+    Parameters: ``benchmark``, ``l1_kb``, ``l2_kb``, optional ``seed``
+    (trace variation) and ``instructions`` (defaults to the scale's
+    ``dse_instructions``).  Each point is self-contained — no upstream
+    stages — so a sweep over the grid parallelizes perfectly.
+    """
+    from repro.core.dse import cache_objective
+    from repro.sim.cpu import simulate
+    from repro.uarch.presets import cortex_a7_like
+    from repro.workloads.suite import get_trace
+
+    benchmark = params.get("benchmark", DEFAULT_BENCHMARK)
+    l1_kb = int(params["l1_kb"])
+    l2_kb = int(params["l2_kb"])
+    seed = int(params.get("seed", 0))
+    instructions = int(params.get("instructions")
+                       or ctx.scale.dse_instructions)
+    config = cortex_a7_like().with_cache_sizes(l1d_kb=l1_kb, l2_kb=l2_kb)
+    trace = get_trace(benchmark, instructions, seed=seed)
+    result = simulate(trace, config)
+    time_ns = float(result.total_time_ns)
+    objective = cache_objective(l1_kb, l2_kb, time_ns)
+    return {
+        "headers": ["benchmark", "L1 kB", "L2 kB", "time (ns)", "objective"],
+        "rows": [[benchmark, l1_kb, l2_kb,
+                  f"{time_ns:.0f}", f"{objective:.3g}"]],
+        "metrics": {
+            "benchmark_seed": float(seed),
+            "l1_kb": float(l1_kb),
+            "l2_kb": float(l2_kb),
+            "time_ns": time_ns,
+            "objective": objective,
+            "ipc": float(result.ipc),
+        },
+    }
+
+
+@analysis("synthetic_point")
+def synthetic_point(ctx, params, inputs) -> dict:
+    """A deterministic busy-loop point for queue tests and benchmarks.
+
+    ``work`` iterations of an integer mix (so the payload depends on
+    every parameter), plus an optional ``sleep_s`` to emulate stages
+    long enough for lease/steal machinery to engage.
+    """
+    import time
+
+    point = int(params.get("point", 0))
+    work = int(params.get("work", 1000))
+    sleep_s = float(params.get("sleep_s", 0.0))
+    if sleep_s:
+        time.sleep(sleep_s)
+    acc = point * 2654435761 % 2**32
+    for i in range(work):
+        acc = (acc * 1103515245 + 12345 + i) % 2**31
+    return {
+        "headers": ["point", "value"],
+        "rows": [[point, acc]],
+        "metrics": {"point": float(point), "value": float(acc)},
+    }
+
+
+def cache_dse_sweep(
+    benchmark: str = DEFAULT_BENCHMARK,
+    l1_sizes: tuple[int, ...] | None = None,
+    l2_sizes: tuple[int, ...] | None = None,
+    seeds: int = 1,
+    instructions: int | None = None,
+    scale: str = "smoke",
+) -> SweepSpec:
+    """The cache-DSE grid as a sweep: |l1| x |l2| x ``seeds`` points.
+
+    ``seeds`` multiplies the 36-point paper grid to arbitrary size
+    (trace-seed variation), which is how the benchmark reaches
+    thousands of points.
+    """
+    from repro.core.dse import DEFAULT_L1_SIZES, DEFAULT_L2_SIZES
+
+    l1 = tuple(l1_sizes or DEFAULT_L1_SIZES)
+    l2 = tuple(l2_sizes or DEFAULT_L2_SIZES)
+    params = {"benchmark": benchmark, "l1_kb": l1[0], "l2_kb": l2[0],
+              "seed": 0}
+    if instructions is not None:
+        params["instructions"] = int(instructions)
+    base = ExperimentSpec(
+        name="cache_dse_sweep",
+        title="Cache-size DSE grid, one stage per point",
+        description="L1D x L2 (x seed) grid as independent dse_point stages",
+        scale=scale,
+        stages=(stage("point", "analysis", fn="dse_point", **params),),
+    )
+    return SweepSpec(base=base, matrix={
+        "point.l1_kb": l1,
+        "point.l2_kb": l2,
+        "point.seed": tuple(range(seeds)),
+    })

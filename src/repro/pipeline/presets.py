@@ -22,7 +22,8 @@ from repro.experiments import (
     table3_comparison,
     table4_dse_methods,
 )
-from repro.pipeline.spec import ExperimentSpec
+from repro.pipeline import dse
+from repro.pipeline.spec import ExperimentSpec, SweepSpec
 
 #: Spec name -> ExperimentSpec (ordered as in the paper's evaluation).
 SPECS: dict[str, ExperimentSpec] = {
@@ -43,10 +44,22 @@ SPECS: dict[str, ExperimentSpec] = {
 }
 
 
-def get_spec(name: str) -> ExperimentSpec:
-    """A registered spec by name, or :class:`UnknownExperimentError` with
-    close-match suggestions."""
+#: Sweep name -> zero-argument builder (sweeps are built on demand so a
+#: preset can expose its default grid without freezing it at import).
+SWEEP_BUILDERS: dict[str, callable] = {
+    "cache_dse_sweep": dse.cache_dse_sweep,
+}
+
+
+def get_spec(name: str) -> ExperimentSpec | SweepSpec:
+    """A registered spec (or sweep preset) by name, or
+    :class:`UnknownExperimentError` with close-match suggestions."""
     spec = SPECS.get(name)
-    if spec is None:
-        raise UnknownExperimentError(name, SPECS, kind="spec")
-    return spec
+    if spec is not None:
+        return spec
+    builder = SWEEP_BUILDERS.get(name)
+    if builder is not None:
+        return builder()
+    raise UnknownExperimentError(
+        name, list(SPECS) + list(SWEEP_BUILDERS), kind="spec"
+    )

@@ -1,29 +1,37 @@
-"""The pipeline runner: execute a spec's stage DAG with artifact reuse.
+"""The pipeline runner: plan a spec's stage DAG, hand it to a backend.
 
-Execution is wave-based over the validated DAG: every stage whose
-dependencies are resolved forms a wave; waves with more than one pending
-stage fan out across processes through
-:class:`repro.runtime.ParallelMap` (each stage then simulates serially,
-exactly like the experiment runner's worker rule), single-stage waves
-run in-process with the full simulation fan-out.
+The runner itself no longer executes stages.  It builds an
+:class:`~repro.pipeline.executors.ExecutionPlan` — the deduplicated
+union DAG with every stage's content key precomputed — checks the
+:class:`~repro.pipeline.artifacts.StageArtifactStore` for hits, and
+delegates the rest to an :class:`~repro.pipeline.executors.ExecutorBackend`:
+``local`` (in-process waves over :class:`repro.runtime.ParallelMap`, the
+historical behavior) or ``queue`` (the distributed work-stealing queue,
+see :mod:`repro.pipeline.queue`).
 
-Before running anything, each stage's content key is checked against the
-:class:`~repro.pipeline.artifacts.StageArtifactStore`; hits return the
-stored payload without executing.  A failed stage raises
-:class:`StageFailure` *after* persisting every other completed stage of
-its wave, so a re-run resumes from the failure point instead of from
-scratch.
+A failed stage raises :class:`StageFailure` *after* every other
+completed stage persisted its artifact, so a re-run resumes from the
+failure point instead of from scratch.  Sweeps executed on the queue
+backend submit the union DAG of every expanded scenario at once, so
+idle workers steal ready stages from any sweep point.
 """
 
 from __future__ import annotations
 
-import time
+import contextlib
 from dataclasses import dataclass, field
 
-from repro.pipeline.artifacts import StageArtifactStore, stage_key
+from repro.pipeline.artifacts import StageArtifactStore
+from repro.pipeline.executors import (
+    ExecutionReport,
+    StageTask,
+    TaskResult,
+    build_plan,
+    make_backend,
+    render_executor_stats,
+)
 from repro.pipeline.report import ExperimentResult
-from repro.pipeline.spec import ExperimentSpec, StageSpec, SweepSpec
-from repro.pipeline.stages import STAGE_KINDS, StageContext
+from repro.pipeline.spec import ExperimentSpec, SweepSpec
 
 
 class StageFailure(RuntimeError):
@@ -62,6 +70,7 @@ class PipelineResult:
     scale: str
     outcomes: list[StageOutcome] = field(default_factory=list)
     saved: list[str] = field(default_factory=list)
+    stats: dict | None = None  # executor telemetry (queue backend runs)
 
     @property
     def executed(self) -> int:
@@ -74,6 +83,11 @@ class PipelineResult:
     @property
     def fully_cached(self) -> bool:
         return self.executed == 0
+
+    @property
+    def seconds(self) -> float:
+        """Total execution seconds attributed to this run's stages."""
+        return sum(o.seconds for o in self.outcomes)
 
     def outcome(self, name: str) -> StageOutcome:
         for o in self.outcomes:
@@ -113,15 +127,137 @@ class PipelineResult:
             lines.append(result.render())
         for path in self.saved:
             lines.append(f"saved: {path}")
+        lines += render_executor_stats(self.stats)
         return "\n".join(lines)
 
 
-def _stage_job(item) -> dict:
-    """Top-level (picklable) worker entry point for one stage."""
-    stage, ctx, inputs = item
-    import repro.pipeline.presets  # noqa: F401 — registers preset analyses
+@dataclass
+class SweepResult:
+    """Every point of a finished sweep, plus executor telemetry.
 
-    return STAGE_KINDS[stage.kind].run(ctx, stage, inputs)
+    Behaves like the list of per-point :class:`PipelineResult` it wraps
+    (iteration, indexing, ``len``), and renders a compact per-point
+    summary table instead of one stage listing per scenario.
+    """
+
+    points: list = field(default_factory=list)  # [PipelineResult]
+    stats: dict | None = None
+
+    def __iter__(self):
+        return iter(self.points)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __getitem__(self, index):
+        return self.points[index]
+
+    @property
+    def executed(self) -> int:
+        return sum(p.executed for p in self.points)
+
+    @property
+    def cached(self) -> int:
+        return sum(p.cached for p in self.points)
+
+    @property
+    def fully_cached(self) -> bool:
+        return self.executed == 0
+
+    def table(self) -> list[str]:
+        """The per-point summary rows (``point  executed cached seconds``)."""
+        if not self.points:
+            return []
+        width = max(len(p.spec_name) for p in self.points)
+        width = max(width, len("point"))
+        lines = [f"  {'point':<{width}s}  executed  cached  seconds"]
+        for p in self.points:
+            lines.append(
+                f"  {p.spec_name:<{width}s}  {p.executed:>8d}  "
+                f"{p.cached:>6d}  {p.seconds:>7.2f}"
+            )
+        return lines
+
+    def render(self) -> str:
+        lines = self.table()
+        for p in self.points:
+            for path in p.saved:
+                lines.append(f"saved: {path}")
+        lines += render_executor_stats(self.stats)
+        lines.append(
+            f"sweep total: {self.executed} executed, {self.cached} cached"
+        )
+        return "\n".join(lines)
+
+
+@contextlib.contextmanager
+def execution_env(cache_dir: str | None, jobs: int | None):
+    """Export ``cache_dir``/``jobs`` process-wide for one run's duration.
+
+    ``cache_dir`` travels as ``REPRO_CACHE_DIR`` so worker processes and
+    the common-helper stores resolve the same root; ``jobs`` installs
+    the simulation fan-out default.  Both are restored on exit.  Yields
+    the resolved job count.
+    """
+    import os
+
+    from repro.cache import CACHE_DIR_ENV, set_cache_root
+    from repro.experiments.common import get_default_jobs, set_default_jobs
+    from repro.runtime import resolve_jobs
+
+    previous_root = os.environ.get(CACHE_DIR_ENV)
+    set_cache_root(cache_dir)
+    previous_jobs = None
+    if jobs is not None:
+        previous_jobs = set_default_jobs(jobs)
+    try:
+        yield resolve_jobs(jobs) if jobs is not None else get_default_jobs()
+    finally:
+        if previous_jobs is not None:
+            set_default_jobs(previous_jobs)
+        if cache_dir:
+            if previous_root is None:
+                os.environ.pop(CACHE_DIR_ENV, None)
+            else:
+                os.environ[CACHE_DIR_ENV] = previous_root
+
+
+def assemble_result(
+    spec: ExperimentSpec,
+    scale_name: str,
+    keys: dict[str, str],
+    report: ExecutionReport,
+    save: bool = False,
+    results_dir: str | None = None,
+    seen_executed: set | None = None,
+    stats: dict | None = None,
+) -> PipelineResult:
+    """One spec's :class:`PipelineResult` out of an execution report.
+
+    ``seen_executed`` threads through a sweep's scenarios so a stage
+    shared by several points is attributed *executed* exactly once (the
+    first point, in expansion order) and *cached* everywhere else.
+    """
+    seen = seen_executed if seen_executed is not None else set()
+    outcomes = []
+    for stage in spec.stages:
+        key = keys[stage.name]
+        res = report.results[key]
+        cached = res.cached or key in seen
+        if not res.cached:
+            seen.add(key)
+        outcomes.append(StageOutcome(
+            name=stage.name, kind=stage.kind, key=key, cached=cached,
+            seconds=0.0 if cached else res.seconds, payload=res.payload,
+        ))
+    result = PipelineResult(spec_name=spec.name, scale=scale_name,
+                            outcomes=outcomes, stats=stats)
+    if save:
+        for outcome in result.outcomes:
+            if outcome.kind == "report":
+                saved = ExperimentResult.from_payload(outcome.payload)
+                result.saved.append(saved.save(results_dir))
+    return result
 
 
 class Runner:
@@ -132,9 +268,13 @@ class Runner:
     duration of the run.  ``cache_dir`` is exported process-wide (like
     the CLI's ``--cache-dir``) so every store a stage opens — in this
     process or a worker — resolves the same root.  ``force`` re-executes
-    every stage; ``force_stages`` re-executes just the named ones (and,
-    through key invalidation, everything downstream of them is *not*
-    invalidated — their inputs did not change — so forcing is cheap).
+    every stage; ``force_stages`` re-executes just the named ones.
+
+    ``backend`` picks the executor: ``"local"`` (default), ``"queue"``
+    (``workers`` spawned queue workers plus any external ``repro
+    pipeline worker`` processes sharing the cache root), or a pre-built
+    backend object.  ``backend_options`` are extra keyword arguments for
+    the backend constructor (e.g. ``lease_ttl_s`` for the queue).
     """
 
     def __init__(
@@ -149,6 +289,9 @@ class Runner:
         force_stages: tuple[str, ...] = (),
         store: StageArtifactStore | None = None,
         progress=None,
+        backend="local",
+        workers: int = 0,
+        backend_options: dict | None = None,
     ):
         from repro.experiments.common import get_scale
 
@@ -164,6 +307,9 @@ class Runner:
             spec.stage(name)  # fail fast with suggestions
         self._store = store
         self.progress = progress
+        self.backend = backend
+        self.workers = workers
+        self.backend_options = dict(backend_options or {})
 
     @property
     def store(self) -> StageArtifactStore:
@@ -171,158 +317,37 @@ class Runner:
             self._store = StageArtifactStore()
         return self._store
 
-    def _context(self, inner_jobs: int) -> StageContext:
-        return StageContext(
-            scale=self.scale,
-            spec_name=self.spec.name,
-            cache_dir=self.cache_dir,
-            results_dir=self.results_dir,
-            jobs=inner_jobs,
-        )
-
-    def _forced(self, stage: StageSpec) -> bool:
-        return self.force or stage.name in self.force_stages
-
     def run(self) -> PipelineResult:
-        import os
-
-        from repro.cache import CACHE_DIR_ENV, set_cache_root
-        from repro.experiments.common import get_default_jobs, set_default_jobs
-        from repro.runtime import resolve_jobs
-
-        # cache_dir is exported as REPRO_CACHE_DIR so worker processes and
-        # the common-helper stores resolve the same root — but only for
-        # the duration of this run, like the jobs override below
-        previous_root = os.environ.get(CACHE_DIR_ENV)
-        set_cache_root(self.cache_dir)
-        previous_jobs = None
-        if self.jobs is not None:
-            previous_jobs = set_default_jobs(self.jobs)
-        try:
-            resolved_jobs = (
-                resolve_jobs(self.jobs) if self.jobs is not None
-                else get_default_jobs()
-            )
+        with execution_env(self.cache_dir, self.jobs) as resolved_jobs:
             return self._run(resolved_jobs)
-        finally:
-            if previous_jobs is not None:
-                set_default_jobs(previous_jobs)
-            if self.cache_dir:
-                if previous_root is None:
-                    os.environ.pop(CACHE_DIR_ENV, None)
-                else:
-                    os.environ[CACHE_DIR_ENV] = previous_root
 
     def _run(self, resolved_jobs: int) -> PipelineResult:
-        result = PipelineResult(spec_name=self.spec.name, scale=self.scale.name)
-        keys: dict[str, str] = {}
-        payloads: dict[str, dict] = {}
-        done: dict[str, StageOutcome] = {}
+        plan = build_plan(
+            [self.spec], scale=self.scale, store=self.store,
+            jobs=resolved_jobs, cache_dir=self.cache_dir,
+            results_dir=self.results_dir, force=self.force,
+            force_stages=self.force_stages,
+            progress=self.progress, on_outcome=self._on_outcome,
+        )
+        backend = make_backend(self.backend, workers=self.workers,
+                               **self.backend_options)
+        report = backend.execute(plan)
+        if report.failure is not None:
+            raise StageFailure(*report.failure)
+        spec, keys = plan.index[0]
+        return assemble_result(
+            spec, self.scale.name, keys, report,
+            save=self.save, results_dir=self.results_dir,
+            stats=report.stats,
+        )
 
-        pending = list(self.spec.stages)
-        while pending:
-            wave = [s for s in pending if all(n in done for n in s.needs)]
-            assert wave, "spec validation guarantees progress"
-            to_execute: list[StageSpec] = []
-            for stage in wave:
-                extra = None
-                if stage.kind == "analysis":
-                    from repro.pipeline.stages import analysis_fingerprint
-
-                    extra = {
-                        "fn_source": analysis_fingerprint(stage.params["fn"])
-                    }
-                key = stage_key(
-                    stage, self.scale,
-                    {n: keys[n] for n in stage.needs},
-                    STAGE_KINDS[stage.kind].version,
-                    extra=extra,
-                )
-                keys[stage.name] = key
-                record = None if self._forced(stage) else self.store.get(key)
-                if record is not None:
-                    outcome = StageOutcome(
-                        name=stage.name, kind=stage.kind, key=key,
-                        cached=True, seconds=0.0, payload=record["payload"],
-                    )
-                    done[stage.name] = outcome
-                    payloads[stage.name] = outcome.payload
-                    self._report(outcome)
-                else:
-                    to_execute.append(stage)
-            if to_execute:
-                self._execute_wave(to_execute, keys, payloads, done,
-                                   resolved_jobs)
-            pending = [s for s in pending if s.name not in done]
-
-        result.outcomes = [done[s.name] for s in self.spec.stages]
-        if self.save:
-            for outcome in result.outcomes:
-                if outcome.kind == "report":
-                    saved = ExperimentResult.from_payload(outcome.payload)
-                    result.saved.append(saved.save(self.results_dir))
-        return result
-
-    def _execute_wave(
-        self,
-        stages: list[StageSpec],
-        keys: dict[str, str],
-        payloads: dict[str, dict],
-        done: dict[str, StageOutcome],
-        resolved_jobs: int,
-    ) -> None:
-        from repro.runtime import ParallelMap
-
-        parallel = resolved_jobs > 1 and len(stages) > 1
-        inner_jobs = 1 if parallel else resolved_jobs
-        ctx = self._context(inner_jobs)
-        items = [
-            (stage, ctx, {n: payloads[n] for n in stage.needs})
-            for stage in stages
-        ]
-        start = time.perf_counter()
-        if parallel:
-            pool = ParallelMap(jobs=min(resolved_jobs, len(stages)),
-                               chunksize=1, progress=self.progress)
-            results = pool.map(
-                _stage_job, items, return_errors=True,
-                labels=[s.name for s in stages],
-            )
-        else:
-            results = [self._run_inline(item) for item in items]
-        elapsed = time.perf_counter() - start
-        failure: tuple[str, str] | None = None
-        for stage, res in zip(stages, results):
-            if res.error is not None:
-                if failure is None:
-                    failure = (stage.name, res.error)
-                continue
-            key = keys[stage.name]
-            self.store.put(key, stage.name, stage.kind, self.spec.name,
-                           res.value)
-            outcome = StageOutcome(
-                name=stage.name, kind=stage.kind, key=key, cached=False,
-                seconds=elapsed / max(len(stages), 1), payload=res.value,
-            )
-            done[stage.name] = outcome
-            payloads[stage.name] = res.value
-            self._report(outcome)
-        if failure is not None:
-            raise StageFailure(self.spec.name, failure[0], failure[1])
-
-    def _run_inline(self, item):
-        """Serial execution with the same error envelope as the pool."""
-        import traceback
-
-        from repro.runtime.pool import JobResult
-
-        try:
-            return JobResult(index=0, value=_stage_job(item))
-        except Exception:
-            return JobResult(index=0, error=traceback.format_exc())
-
-    def _report(self, outcome: StageOutcome) -> None:
+    def _on_outcome(self, task: StageTask, result: TaskResult) -> None:
         if self.progress is not None and hasattr(self.progress, "stream"):
+            outcome = StageOutcome(
+                name=task.stage.name, kind=task.stage.kind, key=task.key,
+                cached=result.cached, seconds=result.seconds,
+                payload=result.payload,
+            )
             self.progress.stream.write(f"{outcome.row()}\n")
 
 
@@ -337,6 +362,9 @@ def run_spec(
     results_dir: str | None = None,
     save: bool = False,
     force: bool = False,
+    backend="local",
+    workers: int = 0,
+    backend_options: dict | None = None,
 ) -> PipelineResult:
     """Run one spec (by object or registered name)."""
     if isinstance(spec, str):
@@ -346,6 +374,7 @@ def run_spec(
     return Runner(
         spec, scale=scale, jobs=jobs, cache_dir=cache_dir,
         results_dir=results_dir, save=save, force=force,
+        backend=backend, workers=workers, backend_options=backend_options,
     ).run()
 
 
@@ -357,17 +386,59 @@ def run_sweep(
     results_dir: str | None = None,
     save: bool = False,
     force: bool = False,
-) -> list[PipelineResult]:
+    backend="local",
+    workers: int = 0,
+    backend_options: dict | None = None,
+    progress=None,
+) -> SweepResult:
     """Run every scenario of a sweep grid, in expansion order.
 
     Scenarios share stage artifacts wherever their grid point leaves a
     stage's parameters (and upstream) untouched, so a sweep's cost is
     proportional to what actually varies.
+
+    On the ``local`` backend, scenarios run sequentially in-process.
+    Any other backend receives the **union DAG** of every expanded
+    scenario in one submission — with the queue backend that means idle
+    workers steal ready stages from any sweep point (work-stealing
+    across the whole grid), and a stage shared by several points
+    executes once.
     """
-    return [
-        Runner(
-            scenario, scale=scale, jobs=jobs, cache_dir=cache_dir,
-            results_dir=results_dir, save=save, force=force,
-        ).run()
-        for scenario in sweep.expand()
-    ]
+    scenarios = sweep.expand()
+    if backend == "local":
+        points = [
+            Runner(
+                scenario, scale=scale, jobs=jobs, cache_dir=cache_dir,
+                results_dir=results_dir, save=save, force=force,
+                progress=progress,
+            ).run()
+            for scenario in scenarios
+        ]
+        return SweepResult(points=points)
+    with execution_env(cache_dir, jobs) as resolved_jobs:
+        store = StageArtifactStore()
+        plan = build_plan(
+            scenarios, scale=scale, store=store, jobs=resolved_jobs,
+            cache_dir=cache_dir, results_dir=results_dir, force=force,
+            progress=progress,
+        )
+        backend_obj = make_backend(backend, workers=workers,
+                                   **(backend_options or {}))
+        report = backend_obj.execute(plan)
+        if report.failure is not None:
+            raise StageFailure(*report.failure)
+        seen: set[str] = set()
+        points = []
+        for spec, keys in plan.index:
+            points.append(assemble_result(
+                spec, plan_scale_name(spec, scale), keys, report,
+                save=save, results_dir=results_dir, seen_executed=seen,
+            ))
+        return SweepResult(points=points, stats=report.stats)
+
+
+def plan_scale_name(spec: ExperimentSpec, scale) -> str:
+    """The scale name a spec resolves to under an optional override."""
+    from repro.experiments.common import get_scale
+
+    return get_scale(scale or spec.scale or "bench").name

@@ -57,6 +57,19 @@ class ProgressReporter:
         )
         self.stream.flush()
 
+    def note(self, message: str) -> None:
+        """Print a free-form status line (queue depth, worker counts...).
+
+        Notes do not advance the counter — they exist so long-running
+        coordinators (the pipeline queue backend) can report liveness
+        between task completions instead of going silent.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self.stream.write(f"{self.prefix}{message}\n")
+            self.stream.flush()
+
 
 class _NullProgress(ProgressReporter):
     """Reporter that records nothing and prints nothing."""

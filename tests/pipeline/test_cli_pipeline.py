@@ -37,6 +37,22 @@ SWEEP_TOML = SPEC_TOML + """
 "model.epochs" = [1, 2]
 """
 
+SYNTH_SWEEP_TOML = """
+name = "cli_queue"
+title = "CLI queue sweep"
+scale = "smoke"
+
+[[stage]]
+name = "point"
+kind = "analysis"
+fn = "synthetic_point"
+point = 0
+work = 200
+
+[sweep.matrix]
+"point.point" = [0, 1, 2]
+"""
+
 
 @pytest.fixture
 def env(tmp_path, monkeypatch):
@@ -104,6 +120,38 @@ def test_pipeline_sweep_runs_every_scenario(env, capsys):
     assert "cli_scenario__epochs=2" in out
     # the dataset stage is shared across scenarios: 8 stage runs, 7 executions
     assert "sweep total: 7 executed, 1 cached" in out
+
+
+def test_pipeline_list_shows_sweep_presets(capsys):
+    assert main(["pipeline", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep presets:" in out
+    assert "cache_dse_sweep" in out
+
+
+def test_pipeline_sweep_queue_backend(env, capsys):
+    spec = env / "qsweep.toml"
+    spec.write_text(SYNTH_SWEEP_TOML)
+    args = ["pipeline", "sweep", str(spec), "--backend", "queue",
+            "--workers", "2", "--lease-ttl", "10",
+            "--cache-dir", str(env / "cache")]
+
+    assert main(args) == 0
+    out = capsys.readouterr().out
+    assert "sweep total: 3 executed, 0 cached" in out
+    assert "stages/s" in out  # per-worker throughput report
+
+    # distributed re-run is a full cache hit
+    assert main(args) == 0
+    assert "sweep total: 0 executed, 3 cached" in capsys.readouterr().out
+
+
+def test_pipeline_worker_idle_timeout_exits_cleanly(env, capsys):
+    assert main(["pipeline", "worker", "--id", "cli-w", "--poll", "0.01",
+                 "--idle-timeout", "0.05",
+                 "--cache-dir", str(env / "cache")]) == 0
+    out = capsys.readouterr().out
+    assert "worker cli-w: 0 executed" in out
 
 
 def test_pipeline_sweep_on_plain_spec_errors(env, capsys):
