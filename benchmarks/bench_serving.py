@@ -101,6 +101,8 @@ def bench_serving(
     n = len(request_list)
     report = {
         "scale": scale,
+        # which trace frontend benchmark names resolved against
+        "frontend": session.frontend,
         "benchmarks": benchmarks,
         "requests": n,
         "singles": {

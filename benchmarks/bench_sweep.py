@@ -93,6 +93,7 @@ def bench_sweep(
         "meta": {
             "benchmark": benchmark,
             "scale": scale,
+            "frontend": "mini-asm",  # the trace source behind the grid
             "points": total_points,
             "seeds": seeds,
             "host_cpus": os.cpu_count() or 1,

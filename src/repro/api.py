@@ -48,6 +48,7 @@ from repro.features.dataset import (
     build_dataset,
 )
 from repro.features.feature_cache import encoded_features, feature_cache_dir
+from repro.frontends import DEFAULT_FRONTEND, get_frontend
 from repro.models import (
     ModelStore,
     PerformanceModel,
@@ -59,7 +60,7 @@ from repro.models.registry import get_family
 from repro.models.store import training_provenance
 from repro.uarch import sample_configs
 from repro.uarch.config import MicroarchConfig
-from repro.workloads import ALL_BENCHMARKS, BENCHMARKS, TRAIN_BENCHMARKS
+from repro.workloads import TRAIN_BENCHMARKS
 
 
 @dataclass(frozen=True)
@@ -82,10 +83,14 @@ class Session:
         jobs: int | None = 1,
         store: ModelStore | None = None,
         jit: bool | None = None,
+        frontend: str = DEFAULT_FRONTEND,
     ):
         self.scale = get_scale(scale)
         self.cache_dir = cache_dir  # None -> REPRO_CACHE_DIR / .repro_cache
         self.jobs = jobs
+        # which trace source benchmark names resolve against; validates
+        # eagerly (unknown names raise with suggestions)
+        self.frontend = get_frontend(frontend).name
         # None defers to REPRO_JIT / the process default (enabled); True or
         # False pins the compiled tier for this session's engine passes
         self.jit = jit
@@ -123,9 +128,15 @@ class Session:
                     if self.cache_dir else DEFAULT_CACHE_DIR
                 ),
                 jobs=self.jobs,
+                isa=self.frontend,
             )
             self._datasets[key] = ds
         return ds
+
+    def _validate_benchmark(self, benchmark: str) -> None:
+        known = get_frontend(self.frontend).benchmarks()
+        if benchmark not in known:
+            raise UnknownBenchmarkError(benchmark, known)
 
     def default_spec(self, family: str) -> dict:
         """Scale-derived hyper-parameters for a family (perfvec only —
@@ -144,7 +155,7 @@ class Session:
     def train(
         self,
         family: str = "perfvec",
-        benchmarks: tuple[str, ...] = TRAIN_BENCHMARKS,
+        benchmarks: tuple[str, ...] | None = TRAIN_BENCHMARKS,
         reuse: bool = True,
         evaluate: bool = True,
         tag: str | None = None,
@@ -155,7 +166,13 @@ class Session:
         The store is queried by (family, spec, training provenance,
         dataset fingerprint); an exact hit is loaded instead of
         retrained. ``overrides`` feed the family's constructor.
+        ``benchmarks=None`` means the session frontend's training split.
         """
+        if benchmarks is None or (
+            benchmarks is TRAIN_BENCHMARKS
+            and self.frontend != DEFAULT_FRONTEND
+        ):
+            benchmarks = get_frontend(self.frontend).train_benchmarks()
         dataset = self.dataset(benchmarks)
         fingerprint = dataset.fingerprint()
         spec = {**self.default_spec(family), **overrides}
@@ -191,7 +208,9 @@ class Session:
     def _train_config(
         self, family: str, benchmarks: tuple[str, ...] | list[str]
     ) -> dict:
-        return training_provenance(self.scale.name, family, benchmarks)
+        return training_provenance(
+            self.scale.name, family, benchmarks, isa=self.frontend
+        )
 
     # -- serving ----------------------------------------------------------
     def resolve_artifact(
@@ -212,9 +231,10 @@ class Session:
         for manifest in self.store.list():
             if manifest["family"] != family:
                 continue
+            train_config = manifest.get("train_config") or {}
             if (
-                (manifest.get("train_config") or {}).get("scale")
-                == self.scale.name
+                train_config.get("scale") == self.scale.name
+                and train_config.get("isa", DEFAULT_FRONTEND) == self.frontend
             ):
                 return manifest["id"]
         raise StoreError(
@@ -240,8 +260,7 @@ class Session:
         layer's feature LRU — pass ``memo=False`` so evicted streams
         actually free memory.
         """
-        if benchmark not in BENCHMARKS:
-            raise UnknownBenchmarkError(benchmark, ALL_BENCHMARKS)
+        self._validate_benchmark(benchmark)
         stream = self._features.get(benchmark)
         if stream is None:
             stream = encoded_features(
@@ -250,6 +269,7 @@ class Session:
                     feature_cache_dir(self.cache_dir)
                     if self.cache_dir else "auto"
                 ),
+                isa=self.frontend,
             )
             if memo:
                 self._features[benchmark] = stream
@@ -272,8 +292,7 @@ class Session:
         baseline's measured inputs).  Benchmark names are validated here,
         before any feature work.
         """
-        if benchmark not in BENCHMARKS:
-            raise UnknownBenchmarkError(benchmark, ALL_BENCHMARKS)
+        self._validate_benchmark(benchmark)
         needs = model.serve_inputs
         kwargs: dict = {}
         if "features" in needs:
@@ -292,7 +311,9 @@ class Session:
             kwargs["signature_times"] = np.asarray(
                 signature_times, dtype=np.float64
             )
-        return PredictRequest(benchmark=benchmark, **kwargs)
+        return PredictRequest(
+            benchmark=benchmark, isa=self.frontend, **kwargs
+        )
 
     def predict(
         self,

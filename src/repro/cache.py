@@ -53,6 +53,11 @@ def jit_cache_dir(root: str | None = None) -> str:
     return os.path.join(cache_root(root), "jit")
 
 
+def imported_trace_dir(root: str | None = None) -> str:
+    """Where :mod:`repro.frontends.trace_import` publishes ingested traces."""
+    return os.path.join(cache_root(root), "imported")
+
+
 def queue_dir(root: str | None = None) -> str:
     """Where :mod:`repro.pipeline.queue` keeps its distributed work queue.
 

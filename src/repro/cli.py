@@ -16,6 +16,14 @@ Subcommands::
     repro models list               # stored artifacts
     repro models show <id>          # one artifact's manifest
     repro models rm <id>            # delete an artifact (store GC)
+    repro frontends list            # registered trace frontends + suites
+    repro trace import t.jsonl --isa rv   # ingest an external trace
+    repro trace export rv.gcd --isa rv --out t.jsonl  # emit the schema
+    repro trace list                # imported traces
+
+``repro train``/``repro predict`` take ``--isa NAME`` to resolve
+benchmark names against another trace frontend (``repro frontends
+list``); imported external traces serve via ``--isa imported``.
 
 Every runner subcommand takes ``--jobs N`` (default: all cores) to fan
 trace simulations — and, for ``run-all``/pipelines, whole
@@ -215,11 +223,85 @@ def _cmd_bench_suite(args) -> int:
     return 0
 
 
+def _cmd_frontends(args) -> int:
+    """`repro frontends list`: registered trace sources + their suites."""
+    from repro.frontends import DEFAULT_FRONTEND, available_frontends
+
+    print("frontends:")
+    for name, frontend in available_frontends().items():
+        default = "  (default)" if name == DEFAULT_FRONTEND else ""
+        print(f"  {name:<10s} {frontend.description}{default}")
+        benchmarks = frontend.benchmarks()
+        if benchmarks:
+            print(f"{'':12s}benchmarks: {', '.join(benchmarks)}")
+        elif not frontend.has_vocabulary:
+            print(f"{'':12s}benchmarks: (none imported yet — "
+                  "`repro trace import <file>`)")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """`repro trace import|export|list`: external trace ingestion."""
+    from repro.core.errors import UnknownExperimentError
+    from repro.frontends.trace_import import (
+        TraceImportError,
+        export_trace,
+        import_trace,
+        list_imported,
+    )
+
+    if args.action == "list":
+        names = list_imported()
+        if not names:
+            print("no imported traces (use `repro trace import <file>`)")
+            return 0
+        print(f"{len(names)} imported trace(s):")
+        from repro.frontends.trace_import import load_imported
+
+        for name in names:
+            trace = load_imported(name)
+            print(f"  {name:<24s} {len(trace):>10,d} rows")
+        return 0
+
+    if args.action == "export":
+        if not args.path or not args.out:
+            print("usage: repro trace export <benchmark> --out FILE "
+                  "[--isa NAME]")
+            return 2
+        from repro.experiments.common import get_scale
+        from repro.frontends import get_frontend
+
+        scale = get_scale(args.scale)
+        trace = get_frontend(args.isa).trace(args.path, scale.instructions)
+        export_trace(trace, args.out, fmt=args.format)
+        print(f"exported {len(trace):,} rows of {args.path} "
+              f"(isa={args.isa}) to {args.out}")
+        return 0
+
+    if not args.path:
+        print("usage: repro trace import <file> [--isa NAME] [--name NAME]")
+        return 2
+    try:
+        result = import_trace(
+            args.path, name=args.name, isa=args.isa, fmt=args.format,
+            streaming=not args.whole_file,
+        )
+    except (TraceImportError, UnknownExperimentError) as exc:
+        print(f"error: {exc}")
+        return 1
+    verb = "cache hit" if result.cache_hit else "imported"
+    print(f"{verb}: {result.name} ({result.rows:,} rows, isa={result.isa}, "
+          f"sha256 {result.digest[:12]})")
+    print(f"serve it via the 'imported' frontend: "
+          f"repro predict {result.name} --isa imported")
+    return 0
+
+
 def _cmd_train(args) -> int:
     from repro.api import Session
 
     print(_resolved_header(f"train {args.model}", args.scale, args.jobs))
-    session = Session(scale=args.scale, jobs=args.jobs)
+    session = Session(scale=args.scale, jobs=args.jobs, frontend=args.isa)
     benchmarks = _benchmarks_value(args.benchmarks)
     kwargs = {"benchmarks": benchmarks} if benchmarks else {}
     result = session.train(
@@ -236,7 +318,7 @@ def _cmd_predict(args) -> int:
     from repro.api import Session, predicted_times_row
 
     print(_resolved_header(f"predict {args.benchmark}", args.scale, args.jobs))
-    session = Session(scale=args.scale, jobs=args.jobs)
+    session = Session(scale=args.scale, jobs=args.jobs, frontend=args.isa)
     times = session.predict(
         args.benchmark, config=args.config, artifact=args.artifact,
         family=args.model,
@@ -388,6 +470,14 @@ def _add_jit_flag(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_isa_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--isa", default="mini-asm", metavar="NAME",
+        help="trace frontend benchmark names resolve against "
+             "(see `repro frontends list`; default: mini-asm)",
+    )
+
+
 def _add_results_dir_flag(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--results-dir", default=None, metavar="DIR",
@@ -496,6 +586,7 @@ def main(argv: list[str] | None = None) -> int:
         help="train even when a matching stored artifact exists",
     )
     p_train.add_argument("--tag", default=None, help="free-form artifact tag")
+    _add_isa_flag(p_train)
     _add_jobs_flag(p_train)
     _add_cache_dir_flag(p_train)
     _add_jit_flag(p_train)
@@ -518,9 +609,46 @@ def main(argv: list[str] | None = None) -> int:
         "--evaluate", action="store_true",
         help="also simulate ground truth and print the error summary",
     )
+    _add_isa_flag(p_predict)
     _add_jobs_flag(p_predict)
     _add_cache_dir_flag(p_predict)
     _add_jit_flag(p_predict)
+
+    p_frontends = sub.add_parser(
+        "frontends", help="list registered trace frontends"
+    )
+    p_frontends.add_argument("action", choices=["list"])
+    _add_cache_dir_flag(p_frontends)
+
+    p_trace = sub.add_parser(
+        "trace", help="import/export external instruction traces"
+    )
+    p_trace.add_argument("action", choices=["import", "export", "list"])
+    p_trace.add_argument(
+        "path", nargs="?", default=None,
+        help="trace file to import (.jsonl/.csv, .gz ok) — or, for "
+             "export, the benchmark name to trace",
+    )
+    p_trace.add_argument(
+        "--name", default=None, metavar="NAME",
+        help="imported-trace name (default: derived from the file name)",
+    )
+    p_trace.add_argument(
+        "--format", default=None, choices=["jsonl", "csv"],
+        help="file format (default: inferred from the extension)",
+    )
+    p_trace.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="output path (export action)",
+    )
+    p_trace.add_argument(
+        "--whole-file", action="store_true",
+        help="parse the whole file in memory instead of streaming",
+    )
+    p_trace.add_argument("--scale", default="bench",
+                         help="trace length for export (scale preset)")
+    _add_isa_flag(p_trace)
+    _add_cache_dir_flag(p_trace)
 
     p_serve = sub.add_parser(
         "serve", help="run the HTTP/JSON prediction service"
@@ -583,6 +711,8 @@ def main(argv: list[str] | None = None) -> int:
         "predict": _cmd_predict,
         "serve": _cmd_serve,
         "models": _cmd_models,
+        "frontends": _cmd_frontends,
+        "trace": _cmd_trace,
     }
     return handlers[args.command](args)
 

@@ -22,6 +22,7 @@ module                      reproduces
 ``table4_dse_methods``      Table IV — DSE method overhead/quality
 ``fig7_cache_dse``          Fig. 7 + Sec. VI-A — cache-size DSE
 ``fig8_loop_tiling``        Fig. 8 — matrix-multiply loop tiling
+``cross_isa``               Cross-ISA zero-shot transfer (mini-ASM -> RV)
 ==========================  =============================================
 """
 

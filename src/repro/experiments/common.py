@@ -155,16 +155,25 @@ def benchmark_dataset(
     benchmarks: tuple[str, ...],
     configs: list[MicroarchConfig] | None = None,
     instructions: int | None = None,
+    isa: str | None = None,
 ) -> TraceDataset:
-    """Cached dataset over ``benchmarks`` x ``configs``."""
+    """Cached dataset over ``benchmarks`` x ``configs``.
+
+    ``isa`` selects the trace frontend benchmark names resolve against
+    (default: the mini-ASM VM).
+    """
+    from repro.frontends import DEFAULT_FRONTEND
+
     configs = configs if configs is not None else seen_configs(scale)
     instructions = instructions or scale.instructions
+    isa = isa or DEFAULT_FRONTEND
     key = (scale.name, tuple(benchmarks), tuple(c.name for c in configs),
-           instructions)
+           instructions, isa)
     ds = _DATASET_CACHE.get(key)
     if ds is None:
         ds = build_dataset(
-            list(benchmarks), configs, instructions, jobs=get_default_jobs()
+            list(benchmarks), configs, instructions,
+            jobs=get_default_jobs(), isa=isa,
         )
         _DATASET_CACHE[key] = ds
     return ds

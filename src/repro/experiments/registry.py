@@ -22,6 +22,7 @@ from typing import Callable, Sequence
 
 from repro.core.errors import UnknownExperimentError
 from repro.experiments import (
+    cross_isa,
     fig3_seen_unseen,
     fig4_retrain_lbm,
     fig5_unseen_uarch,
@@ -49,6 +50,7 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "table4_dse_methods": table4_dse_methods.run,
     "fig7_cache_dse": fig7_cache_dse.run,
     "fig8_loop_tiling": fig8_loop_tiling.run,
+    "cross_isa": cross_isa.run,
 }
 
 

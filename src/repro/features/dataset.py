@@ -36,10 +36,10 @@ import numpy as np
 
 from repro.cache import dataset_cache_dir
 from repro.features.encoder import NUM_FEATURES, encode_trace
+from repro.frontends import DEFAULT_FRONTEND, get_frontend
 from repro.runtime import ParallelMap, ProgressReporter
 from repro.sim import CPUSimulator
 from repro.uarch.config import MicroarchConfig
-from repro.workloads import get_trace
 
 #: Default ``cache_dir`` sentinel: resolve ``REPRO_CACHE_DIR`` (or
 #: ``.repro_cache/``) at call time via :mod:`repro.cache`.
@@ -58,6 +58,8 @@ class TraceDataset:
     targets: np.ndarray  # float32 [N, k] incremental latencies (0.1 ns)
     segments: tuple[tuple[str, int, int], ...]  # (benchmark, start, end)
     config_names: tuple[str, ...]
+    #: Which frontend generated the traces (``repro.frontends`` name).
+    isa: str = DEFAULT_FRONTEND
 
     def __post_init__(self) -> None:
         if self.features.shape[0] != self.targets.shape[0]:
@@ -95,6 +97,7 @@ class TraceDataset:
             targets=np.ascontiguousarray(self.targets[:, indices]),
             segments=self.segments,
             config_names=tuple(self.config_names[i] for i in indices),
+            isa=self.isa,
         )
 
     def total_times(self) -> dict[str, np.ndarray]:
@@ -116,6 +119,9 @@ class TraceDataset:
         h.update(np.ascontiguousarray(self.targets).tobytes())
         h.update(repr(self.segments).encode())
         h.update(repr(self.config_names).encode())
+        if self.isa != DEFAULT_FRONTEND:
+            # conditional so every pre-frontend fingerprint stays stable
+            h.update(self.isa.encode())
         return h.hexdigest()[:16]
 
 
@@ -124,19 +130,31 @@ def _config_digest(configs: list[MicroarchConfig]) -> str:
     return hashlib.sha256(text.encode()).hexdigest()[:16]
 
 
-def _cache_path(
-    cache_dir: str, name: str, n: int, seed: int | None, digest: str
-) -> str:
+def _safe_name(name: str, isa: str) -> str:
+    """Cache-file stem; non-default frontends get a distinguishing prefix
+    (conditional so every pre-frontend cache file keeps its path)."""
     safe = name.replace(".", "_")
-    return os.path.join(cache_dir, f"{safe}_n{n}_s{seed}_{digest}.npz")
+    if isa != DEFAULT_FRONTEND:
+        safe = f"{isa.replace('-', '_')}__{safe}"
+    return safe
+
+
+def _cache_path(
+    cache_dir: str, name: str, n: int, seed: int | None, digest: str,
+    isa: str = DEFAULT_FRONTEND,
+) -> str:
+    return os.path.join(
+        cache_dir, f"{_safe_name(name, isa)}_n{n}_s{seed}_{digest}.npz"
+    )
 
 
 def _shard_path(
-    cache_dir: str, name: str, n: int, seed: int | None, config_digest: str
+    cache_dir: str, name: str, n: int, seed: int | None, config_digest: str,
+    isa: str = DEFAULT_FRONTEND,
 ) -> str:
-    safe = name.replace(".", "_")
     return os.path.join(
-        cache_dir, "shards", f"{safe}_n{n}_s{seed}_{config_digest}.npz"
+        cache_dir, "shards",
+        f"{_safe_name(name, isa)}_n{n}_s{seed}_{config_digest}.npz",
     )
 
 
@@ -163,6 +181,7 @@ class _SimJob:
     max_instructions: int
     seed: int | None
     shard_path: str | None
+    isa: str = DEFAULT_FRONTEND
 
     @property
     def label(self) -> str:
@@ -173,10 +192,12 @@ class _SimJob:
 def _run_sim_job(job: _SimJob) -> np.ndarray:
     """Execute one job (worker side), persisting its shard when enabled.
 
-    ``get_trace`` memoizes per process, so consecutive jobs for one
-    benchmark in the same worker share the trace.
+    Frontend ``trace`` calls memoize per process, so consecutive jobs for
+    one benchmark in the same worker share the trace.
     """
-    trace = get_trace(job.benchmark, job.max_instructions, seed=job.seed)
+    trace = get_frontend(job.isa).trace(
+        job.benchmark, job.max_instructions, seed=job.seed
+    )
     if job.config is None:
         data = encode_trace(trace)
     else:
@@ -192,6 +213,7 @@ def _benchmark_jobs(
     max_instructions: int,
     seed: int | None,
     cache_dir: str | None,
+    isa: str = DEFAULT_FRONTEND,
 ) -> list[_SimJob]:
     """The features job plus one simulation job per config, in column order."""
     jobs = []
@@ -203,7 +225,7 @@ def _benchmark_jobs(
                 if config is None
                 else hashlib.sha256(repr(config).encode()).hexdigest()[:16]
             )
-            shard = _shard_path(cache_dir, name, max_instructions, seed, tag)
+            shard = _shard_path(cache_dir, name, max_instructions, seed, tag, isa)
         jobs.append(
             _SimJob(
                 benchmark=name,
@@ -211,6 +233,7 @@ def _benchmark_jobs(
                 max_instructions=max_instructions,
                 seed=seed,
                 shard_path=shard,
+                isa=isa,
             )
         )
     return jobs
@@ -235,6 +258,7 @@ def _build_many(
     cache_dir: str | None,
     jobs: int | None,
     progress: ProgressReporter | None,
+    isa: str,
 ) -> dict[str, tuple[np.ndarray, np.ndarray]]:
     """(features, targets) per benchmark, fanning cache misses out as jobs."""
     digest = _config_digest(configs)
@@ -242,13 +266,15 @@ def _build_many(
     pending: dict[str, list[_SimJob]] = {}
     for name in dict.fromkeys(benchmarks):
         if cache_dir:
-            path = _cache_path(cache_dir, name, max_instructions, seed, digest)
+            path = _cache_path(
+                cache_dir, name, max_instructions, seed, digest, isa
+            )
             if os.path.exists(path):
                 with np.load(path) as data:
                     arrays[name] = (data["features"], data["targets"])
                 continue
         pending[name] = _benchmark_jobs(
-            name, configs, max_instructions, seed, cache_dir
+            name, configs, max_instructions, seed, cache_dir, isa
         )
 
     if pending:
@@ -278,7 +304,7 @@ def _build_many(
             )
             if cache_dir:
                 path = _cache_path(
-                    cache_dir, name, max_instructions, seed, digest
+                    cache_dir, name, max_instructions, seed, digest, isa
                 )
                 _atomic_savez(path, features=features, targets=targets)
                 # Shards only go once the merged entry is durable, so a
@@ -305,11 +331,12 @@ def build_benchmark_arrays(
     cache_dir: str | None = DEFAULT_CACHE_DIR,
     jobs: int | None = 1,
     progress: ProgressReporter | None = None,
+    isa: str = DEFAULT_FRONTEND,
 ) -> tuple[np.ndarray, np.ndarray]:
     """(features, targets) for one benchmark, via the on-disk cache."""
     return _build_many(
         [name], configs, max_instructions, seed, _resolve_cache_dir(cache_dir),
-        jobs, progress,
+        jobs, progress, isa,
     )[name]
 
 
@@ -321,12 +348,15 @@ def build_dataset(
     cache_dir: str | None = DEFAULT_CACHE_DIR,
     jobs: int | None = 1,
     progress: ProgressReporter | None = None,
+    isa: str = DEFAULT_FRONTEND,
 ) -> TraceDataset:
     """Assemble the full dataset over ``benchmarks`` x ``configs``.
 
     ``jobs`` fans the per-(benchmark, config) simulations out across
     processes (``None``/``0`` = all cores, ``1`` = serial in-process);
     the resulting dataset and cache files are identical for any value.
+    ``isa`` selects the trace frontend (:mod:`repro.frontends`) and is
+    recorded on the dataset, in its fingerprint and in every cache key.
     """
     if not benchmarks:
         raise ValueError("no benchmarks given")
@@ -337,7 +367,7 @@ def build_dataset(
         raise ValueError("config names must be unique")
     arrays = _build_many(
         list(benchmarks), configs, max_instructions, seed,
-        _resolve_cache_dir(cache_dir), jobs, progress,
+        _resolve_cache_dir(cache_dir), jobs, progress, isa,
     )
     feature_blocks = []
     target_blocks = []
@@ -354,4 +384,5 @@ def build_dataset(
         targets=np.concatenate(target_blocks, axis=0),
         segments=tuple(segments),
         config_names=tuple(names),
+        isa=isa,
     )

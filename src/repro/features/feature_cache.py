@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.cache import cache_root
 from repro.features.encoder import NUM_FEATURES, iter_encoded_chunks
+from repro.frontends import DEFAULT_FRONTEND
 
 #: Bump when the Table I encoding changes incompatibly.
 ENCODER_VERSION = 1
@@ -41,26 +42,37 @@ def feature_cache_dir(root: str | None = None) -> str:
     return os.path.join(cache_root(root), "features")
 
 
-def feature_key(benchmark: str, max_instructions: int, seed: int | None) -> str:
+def feature_key(
+    benchmark: str,
+    max_instructions: int,
+    seed: int | None,
+    isa: str = DEFAULT_FRONTEND,
+) -> str:
     """Content address of one encoded stream (inputs + encoder version)."""
-    identity = json.dumps(
-        {
-            "benchmark": benchmark,
-            "max_instructions": max_instructions,
-            "seed": seed,
-            "num_features": NUM_FEATURES,
-            "encoder_version": ENCODER_VERSION,
-        },
-        sort_keys=True,
-    )
-    return hashlib.sha256(identity.encode()).hexdigest()[:16]
+    identity = {
+        "benchmark": benchmark,
+        "max_instructions": max_instructions,
+        "seed": seed,
+        "num_features": NUM_FEATURES,
+        "encoder_version": ENCODER_VERSION,
+    }
+    if isa != DEFAULT_FRONTEND:
+        # conditional so every pre-frontend cache key stays stable
+        identity["isa"] = isa
+    return hashlib.sha256(
+        json.dumps(identity, sort_keys=True).encode()
+    ).hexdigest()[:16]
 
 
 def _cache_path(
-    cache_dir: str, benchmark: str, max_instructions: int, seed: int | None
+    cache_dir: str,
+    benchmark: str,
+    max_instructions: int,
+    seed: int | None,
+    isa: str,
 ) -> str:
     safe = benchmark.replace(".", "_")
-    key = feature_key(benchmark, max_instructions, seed)
+    key = feature_key(benchmark, max_instructions, seed, isa)
     return os.path.join(cache_dir, f"{safe}_{key}.npz")
 
 
@@ -70,20 +82,21 @@ def encoded_features(
     seed: int | None = None,
     cache_dir: str | None = DEFAULT_CACHE_DIR,
     chunk_rows: int = DEFAULT_CHUNK_ROWS,
+    isa: str = DEFAULT_FRONTEND,
 ) -> np.ndarray:
     """The benchmark's encoded ``[n, 51]`` features, via the on-disk cache."""
+    from repro.frontends import get_frontend
     from repro.ml.serialize import save_arrays
-    from repro.workloads import get_trace
 
     if cache_dir == DEFAULT_CACHE_DIR:
         cache_dir = feature_cache_dir()
     path = None
     if cache_dir:
-        path = _cache_path(cache_dir, benchmark, max_instructions, seed)
+        path = _cache_path(cache_dir, benchmark, max_instructions, seed, isa)
         if os.path.exists(path):
             with np.load(path) as data:
                 return data["features"]
-    trace = get_trace(benchmark, max_instructions, seed=seed)
+    trace = get_frontend(isa).trace(benchmark, max_instructions, seed=seed)
     # fill a preallocated matrix chunk-by-chunk: peak transient memory is
     # one chunk, not a second copy of the whole stream
     features = np.empty((len(trace), NUM_FEATURES), dtype=np.float32)

@@ -1,0 +1,96 @@
+"""Pluggable trace sources behind one registry.
+
+>>> from repro.frontends import get_frontend, available_frontends
+>>> get_frontend("rv").trace("rv.axpy", 2000)
+>>> sorted(available_frontends())
+['imported', 'mini-asm', 'rv']
+
+Frontends register lazily (factories import their module on first use)
+so ``import repro.frontends`` stays cheap and worker processes only pay
+for the frontends they actually trace through.  Unknown names raise
+:class:`~repro.core.errors.UnknownExperimentError` with close-match
+suggestions, the same KeyError-compatible shape the pipeline uses for
+specs and scales.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.frontends.base import Frontend
+
+#: The frontend every existing call site implies when it says nothing.
+DEFAULT_FRONTEND = "mini-asm"
+
+_FACTORIES: dict[str, Callable[[], Frontend]] = {}
+_INSTANCES: dict[str, Frontend] = {}
+
+
+def register_frontend(name: str, factory: Callable[[], Frontend]) -> None:
+    """Register a frontend factory under ``name`` (last wins)."""
+    _FACTORIES[name] = factory
+    _INSTANCES.pop(name, None)
+
+
+def frontend_names() -> tuple[str, ...]:
+    """Every registered frontend name, sorted."""
+    return tuple(sorted(_FACTORIES))
+
+
+def get_frontend(name: str) -> Frontend:
+    """The frontend registered under ``name`` (instantiated once).
+
+    Raises :class:`UnknownExperimentError` (``kind="frontend"``) with
+    difflib suggestions for unknown names — reused verbatim by
+    ``repro trace import --isa`` and ``isa =`` keys in spec files.
+    """
+    instance = _INSTANCES.get(name)
+    if instance is not None:
+        return instance
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        # deferred: repro.core pulls in the feature stack, which itself
+        # imports this module for DEFAULT_FRONTEND
+        from repro.core.errors import UnknownExperimentError
+
+        raise UnknownExperimentError(name, _FACTORIES, kind="frontend")
+    instance = factory()
+    _INSTANCES[name] = instance
+    return instance
+
+
+def available_frontends() -> dict[str, Frontend]:
+    """name -> instantiated frontend, for every registered name."""
+    return {name: get_frontend(name) for name in frontend_names()}
+
+
+def _make_mini_asm() -> Frontend:
+    from repro.frontends.mini_asm import MiniAsmFrontend
+
+    return MiniAsmFrontend()
+
+
+def _make_rv() -> Frontend:
+    from repro.frontends.rv import RvFrontend
+
+    return RvFrontend()
+
+
+def _make_imported() -> Frontend:
+    from repro.frontends.trace_import import ImportedFrontend
+
+    return ImportedFrontend()
+
+
+register_frontend("mini-asm", _make_mini_asm)
+register_frontend("rv", _make_rv)
+register_frontend("imported", _make_imported)
+
+__all__ = [
+    "DEFAULT_FRONTEND",
+    "Frontend",
+    "available_frontends",
+    "frontend_names",
+    "get_frontend",
+    "register_frontend",
+]

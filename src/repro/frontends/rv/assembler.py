@@ -1,0 +1,327 @@
+"""Two-pass text assembler for the RV32IM-ish subset.
+
+Accepts standard-ish RISC-V assembly::
+
+    # comments with '#' or ';'
+    loop:
+        lw   a1, 0(a0)
+        addi a0, a0, 4
+        add  s0, s0, a1
+        bnez a2, loop
+        ret
+
+plus ``.data`` / ``.word`` directives for static data.  Pass 1 sizes
+every statement (``li`` expands to one or two words depending on the
+constant) and collects labels; pass 2 encodes 32-bit words via
+:func:`repro.frontends.rv.isa.encode`.
+
+Pseudo-instructions: ``li``, ``mv``, ``not``, ``neg``, ``j``, ``jr``,
+``call``, ``ret``, ``nop``, ``beqz``, ``bnez``, ``blez``, ``bgez``,
+``bltz``, ``bgtz``.
+
+Errors raise :class:`RvAssemblyError` carrying the 1-based source line,
+rendered as ``line N: message`` (the mini-ASM assembler idiom).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.frontends.rv.isa import (
+    RV_OPCODES,
+    RvEncodingError,
+    RvOpSpec,
+    encode,
+    parse_xreg,
+)
+
+#: Base address of the first instruction (mirrors the mini-ASM layout so
+#: encoded PC ranges land in the same feature buckets).
+CODE_BASE = 0x1000
+#: Base address of ``.data`` words.
+DATA_BASE = 0x10_0000
+
+
+class RvAssemblyError(ValueError):
+    """Assembly failure at a specific source line."""
+
+    def __init__(self, message: str, lineno: int | None = None):
+        self.lineno = lineno
+        if lineno is not None:
+            message = f"line {lineno}: {message}"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class RvInstruction:
+    """One assembled instruction (word + decoded operand fields)."""
+
+    mnemonic: str
+    pc: int
+    word: int
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    @property
+    def spec(self) -> RvOpSpec:
+        return RV_OPCODES[self.mnemonic]
+
+
+@dataclass(frozen=True)
+class RvProgram:
+    """Assembled program: instructions, labels, and static data words."""
+
+    instructions: tuple[RvInstruction, ...]
+    labels: dict[str, int] = field(default_factory=dict)
+    data: tuple[int, ...] = ()
+
+    def words(self) -> tuple[int, ...]:
+        """The raw 32-bit instruction words, in program order."""
+        return tuple(inst.word for inst in self.instructions)
+
+
+@dataclass
+class _Stmt:
+    lineno: int
+    mnemonic: str
+    operands: list[str]
+    pc: int = 0
+    size: int = 1  # words after pseudo expansion
+
+
+def _strip(line: str) -> str:
+    for marker in ("#", ";", "//"):
+        idx = line.find(marker)
+        if idx >= 0:
+            line = line[:idx]
+    return line.strip()
+
+
+def _split_operands(rest: str) -> list[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [part.strip() for part in rest.split(",")]
+
+
+def _parse_int(token: str, lineno: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise RvAssemblyError(f"not an integer: {token!r}", lineno) from None
+
+
+def _reg(token: str, lineno: int) -> int:
+    try:
+        return parse_xreg(token)
+    except ValueError as exc:
+        raise RvAssemblyError(str(exc), lineno) from None
+
+
+def _mem_operand(token: str, lineno: int) -> tuple[int, int]:
+    """``imm(rs1)`` -> (imm, rs1)."""
+    open_idx = token.find("(")
+    if open_idx < 0 or not token.endswith(")"):
+        raise RvAssemblyError(
+            f"expected memory operand imm(reg), got {token!r}", lineno
+        )
+    imm_text = token[:open_idx].strip() or "0"
+    return _parse_int(imm_text, lineno), _reg(token[open_idx + 1 : -1], lineno)
+
+
+_BRANCH_ZERO = {
+    "beqz": "beq",
+    "bnez": "bne",
+    "bltz": "blt",
+    "bgez": "bge",
+}
+_PSEUDOS = (
+    set(_BRANCH_ZERO)
+    | {"li", "mv", "not", "neg", "j", "jr", "call", "ret", "nop", "blez", "bgtz"}
+)
+
+
+def _li_size(value: int) -> int:
+    return 1 if -2048 <= value <= 2047 else 2
+
+
+def _expand(stmt: _Stmt) -> list[tuple[str, list[str]]]:
+    """Pseudo -> list of (real mnemonic, operands). Non-pseudos pass through."""
+    m, ops, ln = stmt.mnemonic, stmt.operands, stmt.lineno
+
+    def need(n: int) -> None:
+        if len(ops) != n:
+            raise RvAssemblyError(f"{m} expects {n} operand(s), got {len(ops)}", ln)
+
+    if m == "nop":
+        need(0)
+        return [("addi", ["x0", "x0", "0"])]
+    if m == "mv":
+        need(2)
+        return [("addi", [ops[0], ops[1], "0"])]
+    if m == "not":
+        need(2)
+        return [("xori", [ops[0], ops[1], "-1"])]
+    if m == "neg":
+        need(2)
+        return [("sub", [ops[0], "x0", ops[1]])]
+    if m == "li":
+        need(2)
+        value = _parse_int(ops[1], ln)
+        if _li_size(value) == 1:
+            return [("addi", [ops[0], "x0", str(value)])]
+        upper = ((value + (1 << 11)) >> 12) & 0xFFFFF
+        lower = ((value & 0xFFFFFFFF) - ((upper << 12) & 0xFFFFFFFF)) & 0xFFF
+        if lower >= 2048:
+            lower -= 4096
+        return [("lui", [ops[0], str(upper)]), ("addi", [ops[0], ops[0], str(lower)])]
+    if m == "j":
+        need(1)
+        return [("jal", ["x0", ops[0]])]
+    if m == "jr":
+        need(1)
+        return [("jalr", ["x0", ops[0], "0"])]
+    if m == "call":
+        need(1)
+        return [("jal", ["ra", ops[0]])]
+    if m == "ret":
+        need(0)
+        return [("jalr", ["x0", "ra", "0"])]
+    if m in _BRANCH_ZERO:
+        need(2)
+        return [(_BRANCH_ZERO[m], [ops[0], "x0", ops[1]])]
+    if m == "blez":
+        need(2)
+        return [("bge", ["x0", ops[0], ops[1]])]
+    if m == "bgtz":
+        need(2)
+        return [("blt", ["x0", ops[0], ops[1]])]
+    return [(m, ops)]
+
+
+def assemble(source: str) -> RvProgram:
+    """Assemble RV text into an :class:`RvProgram`."""
+    statements: list[_Stmt] = []
+    labels: dict[str, int] = {}
+    data_words: list[int] = []
+    in_data = False
+
+    # ---- pass 1: tokenize, size, place labels ----
+    pc = CODE_BASE
+    data_addr = DATA_BASE
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = _strip(raw)
+        if not line:
+            continue
+        while True:
+            colon = line.find(":")
+            if colon < 0:
+                break
+            label = line[:colon].strip()
+            if not label or not label.replace("_", "").replace(".", "").isalnum():
+                raise RvAssemblyError(f"bad label {label!r}", lineno)
+            if label in labels:
+                raise RvAssemblyError(f"duplicate label {label!r}", lineno)
+            labels[label] = data_addr if in_data else pc
+            line = line[colon + 1 :].strip()
+        if not line:
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        rest = parts[1] if len(parts) > 1 else ""
+        if mnemonic == ".data":
+            in_data = True
+            continue
+        if mnemonic == ".text":
+            in_data = False
+            continue
+        if mnemonic == ".word":
+            if not in_data:
+                raise RvAssemblyError(".word outside .data section", lineno)
+            for token in _split_operands(rest):
+                data_words.append(_parse_int(token, lineno) & 0xFFFFFFFF)
+                data_addr += 4
+            continue
+        if in_data:
+            raise RvAssemblyError(
+                f"instruction {mnemonic!r} inside .data section", lineno
+            )
+        if mnemonic not in RV_OPCODES and mnemonic not in _PSEUDOS:
+            raise RvAssemblyError(f"unknown mnemonic {mnemonic!r}", lineno)
+        stmt = _Stmt(lineno, mnemonic, _split_operands(rest), pc=pc)
+        if mnemonic == "li":
+            if len(stmt.operands) != 2:
+                raise RvAssemblyError("li expects 2 operands", lineno)
+            stmt.size = _li_size(_parse_int(stmt.operands[1], lineno))
+        statements.append(stmt)
+        pc += 4 * stmt.size
+
+    # ---- pass 2: expand + encode ----
+    def resolve(token: str, lineno: int, pc: int, relative: bool) -> int:
+        if token in labels:
+            return labels[token] - pc if relative else labels[token]
+        return _parse_int(token, lineno)
+
+    instructions: list[RvInstruction] = []
+    for stmt in statements:
+        pc = stmt.pc
+        for mnemonic, ops in _expand(stmt):
+            spec = RV_OPCODES[mnemonic]
+            ln = stmt.lineno
+            rd = rs1 = rs2 = imm = 0
+            try:
+                if spec.fmt == "R":
+                    if len(ops) != 3:
+                        raise RvAssemblyError(f"{mnemonic} expects 3 operands", ln)
+                    rd, rs1, rs2 = (_reg(t, ln) for t in ops)
+                elif spec.fmt == "I" and mnemonic != "jalr":
+                    if len(ops) != 3:
+                        raise RvAssemblyError(f"{mnemonic} expects 3 operands", ln)
+                    rd, rs1 = _reg(ops[0], ln), _reg(ops[1], ln)
+                    imm = resolve(ops[2], ln, pc, relative=False)
+                elif mnemonic == "jalr":
+                    if len(ops) == 2:  # jalr rd, rs1
+                        ops = [ops[0], ops[1], "0"]
+                    if len(ops) != 3:
+                        raise RvAssemblyError("jalr expects rd, rs1[, imm]", ln)
+                    rd, rs1 = _reg(ops[0], ln), _reg(ops[1], ln)
+                    imm = _parse_int(ops[2], ln)
+                elif spec.fmt == "IL":
+                    if len(ops) != 2:
+                        raise RvAssemblyError(f"{mnemonic} expects rd, imm(rs1)", ln)
+                    rd = _reg(ops[0], ln)
+                    imm, rs1 = _mem_operand(ops[1], ln)
+                elif spec.fmt == "S":
+                    if len(ops) != 2:
+                        raise RvAssemblyError(f"{mnemonic} expects rs2, imm(rs1)", ln)
+                    rs2 = _reg(ops[0], ln)
+                    imm, rs1 = _mem_operand(ops[1], ln)
+                elif spec.fmt == "B":
+                    if len(ops) != 3:
+                        raise RvAssemblyError(f"{mnemonic} expects 3 operands", ln)
+                    rs1, rs2 = _reg(ops[0], ln), _reg(ops[1], ln)
+                    imm = resolve(ops[2], ln, pc, relative=True)
+                elif spec.fmt == "U":
+                    if len(ops) != 2:
+                        raise RvAssemblyError(f"{mnemonic} expects 2 operands", ln)
+                    rd = _reg(ops[0], ln)
+                    imm = resolve(ops[1], ln, pc, relative=False)
+                elif spec.fmt == "J":
+                    if len(ops) != 2:
+                        raise RvAssemblyError(f"{mnemonic} expects rd, target", ln)
+                    rd = _reg(ops[0], ln)
+                    imm = resolve(ops[1], ln, pc, relative=True)
+                elif spec.fmt == "SYS":
+                    if ops:
+                        raise RvAssemblyError(f"{mnemonic} takes no operands", ln)
+                word = encode(spec, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+            except RvEncodingError as exc:
+                raise RvAssemblyError(str(exc), ln) from None
+            instructions.append(
+                RvInstruction(mnemonic, pc, word, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+            )
+            pc += 4
+
+    return RvProgram(tuple(instructions), labels, tuple(data_words))

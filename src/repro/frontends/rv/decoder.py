@@ -1,0 +1,119 @@
+"""32-bit word -> :class:`RvInstruction` decoder.
+
+Inverts :func:`repro.frontends.rv.isa.encode` for every mnemonic in the
+subset: ``decode(inst.word, inst.pc)`` reproduces the assembler's
+operand fields exactly (the round-trip the test suite asserts).  Used by
+the machine to validate programs arriving as raw words and by tooling
+that wants to disassemble.
+"""
+
+from __future__ import annotations
+
+from repro.frontends.rv.assembler import RvInstruction
+from repro.frontends.rv.isa import RV_OPCODES, RvOpSpec, _sext, xreg_name
+
+
+class RvDecodeError(ValueError):
+    """The word encodes no instruction in the supported subset."""
+
+
+def _build_index() -> dict[tuple[int, int, int], RvOpSpec]:
+    """(opcode, funct3, funct7) -> spec; funct3/funct7 are -1 if unused."""
+    index: dict[tuple[int, int, int], RvOpSpec] = {}
+    for spec in RV_OPCODES.values():
+        if spec.fmt == "R":
+            key = (spec.opcode, spec.funct3, spec.funct7)
+        elif spec.mnemonic in ("slli", "srli", "srai"):
+            key = (spec.opcode, spec.funct3, spec.funct7)
+        elif spec.fmt in ("I", "IL", "S", "B", "SYS"):
+            key = (spec.opcode, spec.funct3, -1)
+        else:  # U / J: opcode alone discriminates
+            key = (spec.opcode, -1, -1)
+        index[key] = spec
+    return index
+
+
+_INDEX = _build_index()
+_SHIFT_OPC = RV_OPCODES["slli"].opcode  # OP-IMM: shifts carry funct7
+
+
+def decode(word: int, pc: int = 0) -> RvInstruction:
+    """Decode one 32-bit instruction word at address ``pc``."""
+    word &= 0xFFFFFFFF
+    opcode = word & 0x7F
+    funct3 = (word >> 12) & 0x7
+    funct7 = (word >> 25) & 0x7F
+    rd = (word >> 7) & 0x1F
+    rs1 = (word >> 15) & 0x1F
+    rs2 = (word >> 20) & 0x1F
+
+    spec = _INDEX.get((opcode, -1, -1))  # U / J: opcode alone
+    if spec is None and opcode == _SHIFT_OPC and funct3 in (0b001, 0b101):
+        spec = _INDEX.get((opcode, funct3, funct7))  # OP-IMM shifts
+    if spec is None:
+        spec = _INDEX.get((opcode, funct3, funct7))  # R-type
+        if spec is not None and spec.fmt != "R":
+            spec = None
+    if spec is None:
+        spec = _INDEX.get((opcode, funct3, -1))  # I / IL / S / B / SYS
+    if spec is None:
+        raise RvDecodeError(f"cannot decode word 0x{word:08x}")
+
+    imm = 0
+    if spec.fmt in ("I", "IL"):
+        imm = _sext(word >> 20, 12)
+        if spec.mnemonic in ("slli", "srli", "srai"):
+            imm = (word >> 20) & 0x1F
+    elif spec.fmt == "S":
+        imm = _sext(((word >> 25) << 5) | ((word >> 7) & 0x1F), 12)
+    elif spec.fmt == "B":
+        imm = (
+            (((word >> 31) & 1) << 12)
+            | (((word >> 7) & 1) << 11)
+            | (((word >> 25) & 0x3F) << 5)
+            | (((word >> 8) & 0xF) << 1)
+        )
+        imm = _sext(imm, 13)
+    elif spec.fmt == "U":
+        imm = (word >> 12) & 0xFFFFF
+    elif spec.fmt == "J":
+        imm = (
+            (((word >> 31) & 1) << 20)
+            | (((word >> 12) & 0xFF) << 12)
+            | (((word >> 20) & 1) << 11)
+            | (((word >> 21) & 0x3FF) << 1)
+        )
+        imm = _sext(imm, 21)
+
+    if spec.fmt == "SYS":
+        rd = rs1 = rs2 = 0
+    if spec.fmt in ("U", "J", "I", "IL"):
+        rs2 = 0
+    if spec.fmt in ("U", "J"):
+        rs1 = 0
+    if spec.fmt in ("S", "B"):
+        rd = 0
+
+    return RvInstruction(spec.mnemonic, pc, word, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+
+
+def disassemble(word: int, pc: int = 0) -> str:
+    """Human-readable text of one instruction word."""
+    inst = decode(word, pc)
+    spec = inst.spec
+    rd, rs1, rs2 = xreg_name(inst.rd), xreg_name(inst.rs1), xreg_name(inst.rs2)
+    if spec.fmt == "R":
+        return f"{inst.mnemonic} {rd}, {rs1}, {rs2}"
+    if spec.fmt == "I":
+        return f"{inst.mnemonic} {rd}, {rs1}, {inst.imm}"
+    if spec.fmt == "IL":
+        return f"{inst.mnemonic} {rd}, {inst.imm}({rs1})"
+    if spec.fmt == "S":
+        return f"{inst.mnemonic} {rs2}, {inst.imm}({rs1})"
+    if spec.fmt == "B":
+        return f"{inst.mnemonic} {rs1}, {rs2}, {pc + inst.imm:#x}"
+    if spec.fmt == "U":
+        return f"{inst.mnemonic} {rd}, {inst.imm:#x}"
+    if spec.fmt == "J":
+        return f"{inst.mnemonic} {rd}, {pc + inst.imm:#x}"
+    return inst.mnemonic

@@ -1,0 +1,378 @@
+"""Threaded-code interpreter for assembled RV programs.
+
+Same architecture as the mini-ASM :class:`repro.vm.machine.Machine`:
+every static instruction is compiled once into a Python closure
+returning ``(next_index, mem_addr, taken, target, fault)``, and the run
+loop appends canonical trace records through a
+:class:`~repro.vm.trace.TraceBuilder` — so RV traces are
+indistinguishable in shape from mini-ASM ones.
+
+Semantics are 32-bit RV32IM: register values wrap to signed 32-bit,
+shifts mask to 5 bits, ``divu``/``remu``/``sltu``/``bltu``/``bgeu``
+compare unsigned, and division by zero follows the RISC-V value
+convention (quotient -1, remainder = numerator) while still flagging the
+instruction as faulting in the trace — the mini-ASM feature encoder
+treats the flag identically.  Memory is byte-addressable little-endian;
+misaligned accesses align down and fault (the mini-ASM convention).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.frontends.rv.assembler import CODE_BASE, DATA_BASE, RvInstruction, RvProgram
+from repro.frontends.rv.isa import CANONICAL_OPID, CANONICAL_REG, jump_opid
+from repro.isa.instructions import MAX_DST_SLOTS, MAX_SRC_SLOTS
+from repro.isa.registers import REG_NONE
+from repro.vm.errors import VMError
+from repro.vm.trace import Trace, TraceBuilder
+
+#: Initial stack pointer (mirrors the mini-ASM layout so address-range
+#: features land in the same buckets).
+STACK_TOP = 0x80_0000
+
+_Handler = Callable[[], tuple[int, int, int, int, bool]]
+
+_U32 = 0xFFFFFFFF
+_LOAD_SIZE = {"lb": 1, "lbu": 1, "lh": 2, "lhu": 2, "lw": 4}
+_STORE_SIZE = {"sb": 1, "sh": 2, "sw": 4}
+
+
+def wrap_i32(value: int) -> int:
+    """Wrap to signed 32-bit two's complement."""
+    value &= _U32
+    return value - (1 << 32) if value >> 31 else value
+
+
+def _u32(value: int) -> int:
+    return value & _U32
+
+
+class RvMemory:
+    """Byte-addressable little-endian memory, word-granular storage."""
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+
+    def load_words(self, base: int, words: tuple[int, ...]) -> None:
+        for i, word in enumerate(words):
+            self._words[(base + 4 * i) >> 2] = word & _U32
+
+    def read(self, addr: int, size: int, signed: bool) -> int:
+        word = self._words.get(addr >> 2, 0)
+        shift = (addr & 3) * 8
+        value = (word >> shift) & ((1 << (size * 8)) - 1)
+        if signed and value >> (size * 8 - 1):
+            value -= 1 << (size * 8)
+        return value
+
+    def write(self, addr: int, size: int, value: int) -> None:
+        key = addr >> 2
+        shift = (addr & 3) * 8
+        mask = ((1 << (size * 8)) - 1) << shift
+        word = self._words.get(key, 0)
+        self._words[key] = (word & ~mask) | ((value << shift) & mask)
+
+
+def _slots(srcs: tuple[int, ...], dsts: tuple[int, ...]) -> tuple[tuple, tuple]:
+    """x-register operand lists -> padded canonical slot tuples."""
+    src = tuple(CANONICAL_REG[x] for x in srcs)
+    dst = tuple(CANONICAL_REG[x] for x in dsts)
+    src += (REG_NONE,) * (MAX_SRC_SLOTS - len(src))
+    dst += (REG_NONE,) * (MAX_DST_SLOTS - len(dst))
+    return src, dst
+
+
+_R_OPS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "sll": lambda a, b: a << (b & 31),
+    "slt": lambda a, b: int(a < b),
+    "sltu": lambda a, b: int(_u32(a) < _u32(b)),
+    "xor": lambda a, b: a ^ b,
+    "srl": lambda a, b: _u32(a) >> (b & 31),
+    "sra": lambda a, b: a >> (b & 31),
+    "or": lambda a, b: a | b,
+    "and": lambda a, b: a & b,
+    "mul": lambda a, b: a * b,
+    "mulh": lambda a, b: (a * b) >> 32,
+}
+
+_I_OPS = {
+    "addi": _R_OPS["add"],
+    "slti": _R_OPS["slt"],
+    "sltiu": _R_OPS["sltu"],
+    "xori": _R_OPS["xor"],
+    "ori": _R_OPS["or"],
+    "andi": _R_OPS["and"],
+    "slli": _R_OPS["sll"],
+    "srli": _R_OPS["srl"],
+    "srai": _R_OPS["sra"],
+}
+
+_BRANCH_COND = {
+    "beq": lambda a, b: a == b,
+    "bne": lambda a, b: a != b,
+    "blt": lambda a, b: a < b,
+    "bge": lambda a, b: a >= b,
+    "bltu": lambda a, b: _u32(a) < _u32(b),
+    "bgeu": lambda a, b: _u32(a) >= _u32(b),
+}
+
+
+class RvMachine:
+    """RV32IM-subset interpreter producing canonical dynamic traces."""
+
+    def __init__(self) -> None:
+        self.regs: list[int] = [0] * 32
+        self.memory = RvMemory()
+        self.halted = False
+
+    def reset(self, program: RvProgram) -> None:
+        self.regs = [0] * 32
+        self.regs[2] = STACK_TOP  # sp
+        self.memory = RvMemory()
+        self.memory.load_words(DATA_BASE, program.data)
+        self.halted = False
+
+    # ------------------------------------------------------------------
+    def _compile(
+        self, inst: RvInstruction, index: int, index_of: dict[int, int]
+    ) -> _Handler:
+        m = inst.mnemonic
+        regs = self.regs
+        memory = self.memory
+        nxt = index + 1
+        rd, rs1, rs2, imm = inst.rd, inst.rs1, inst.rs2, inst.imm
+
+        if m in _R_OPS:
+            fn = _R_OPS[m]
+
+            def h_r() -> tuple[int, int, int, int, bool]:
+                if rd:
+                    regs[rd] = wrap_i32(fn(regs[rs1], regs[rs2]))
+                return nxt, -1, -1, -1, False
+
+            return h_r
+        if m in _I_OPS:
+            fn = _I_OPS[m]
+
+            def h_i() -> tuple[int, int, int, int, bool]:
+                if rd:
+                    regs[rd] = wrap_i32(fn(regs[rs1], imm))
+                return nxt, -1, -1, -1, False
+
+            return h_i
+        if m in ("div", "divu", "rem", "remu"):
+            unsigned = m.endswith("u")
+            want_rem = m.startswith("rem")
+
+            def h_div() -> tuple[int, int, int, int, bool]:
+                numer, denom = regs[rs1], regs[rs2]
+                if unsigned:
+                    numer, denom = _u32(numer), _u32(denom)
+                if denom == 0:
+                    # RISC-V: quotient is all-ones, remainder the numerator.
+                    if rd:
+                        regs[rd] = wrap_i32(numer) if want_rem else -1
+                    return nxt, -1, -1, -1, True
+                quot = abs(numer) // abs(denom)
+                if (numer < 0) != (denom < 0):
+                    quot = -quot
+                if rd:
+                    value = numer - quot * denom if want_rem else quot
+                    regs[rd] = wrap_i32(value)
+                return nxt, -1, -1, -1, False
+
+            return h_div
+        if m == "lui":
+            value = wrap_i32(imm << 12)
+
+            def h_lui() -> tuple[int, int, int, int, bool]:
+                if rd:
+                    regs[rd] = value
+                return nxt, -1, -1, -1, False
+
+            return h_lui
+        if m == "auipc":
+            value = wrap_i32(inst.pc + (imm << 12))
+
+            def h_auipc() -> tuple[int, int, int, int, bool]:
+                if rd:
+                    regs[rd] = value
+                return nxt, -1, -1, -1, False
+
+            return h_auipc
+        if m in _LOAD_SIZE:
+            size = _LOAD_SIZE[m]
+            signed = m in ("lb", "lh", "lw")
+
+            def h_load() -> tuple[int, int, int, int, bool]:
+                addr = _u32(regs[rs1] + imm)
+                fault = False
+                if addr % size:
+                    addr -= addr % size
+                    fault = True
+                if rd:
+                    regs[rd] = memory.read(addr, size, signed)
+                return nxt, addr, -1, -1, fault
+
+            return h_load
+        if m in _STORE_SIZE:
+            size = _STORE_SIZE[m]
+
+            def h_store() -> tuple[int, int, int, int, bool]:
+                addr = _u32(regs[rs1] + imm)
+                fault = False
+                if addr % size:
+                    addr -= addr % size
+                    fault = True
+                memory.write(addr, size, _u32(regs[rs2]))
+                return nxt, addr, -1, -1, fault
+
+            return h_store
+        if m in _BRANCH_COND:
+            cond = _BRANCH_COND[m]
+            target_pc = inst.pc + imm
+            target_idx = index_of.get(target_pc)
+            if target_idx is None:
+                raise VMError(f"branch to bad pc {target_pc:#x}")
+
+            def h_branch() -> tuple[int, int, int, int, bool]:
+                taken = cond(regs[rs1], regs[rs2])
+                return (
+                    target_idx if taken else nxt,
+                    -1,
+                    int(taken),
+                    target_pc,
+                    False,
+                )
+
+            return h_branch
+        if m == "jal":
+            target_pc = inst.pc + imm
+            target_idx = index_of.get(target_pc)
+            if target_idx is None:
+                raise VMError(f"jump to bad pc {target_pc:#x}")
+            link = inst.pc + 4
+
+            def h_jal() -> tuple[int, int, int, int, bool]:
+                if rd:
+                    regs[rd] = link
+                return target_idx, -1, 1, target_pc, False
+
+            return h_jal
+        if m == "jalr":
+            link = inst.pc + 4
+
+            def h_jalr() -> tuple[int, int, int, int, bool]:
+                pc = _u32(regs[rs1] + imm) & ~1
+                target_idx = index_of.get(pc)
+                if target_idx is None:
+                    raise VMError(f"indirect jump to bad pc {pc:#x}")
+                if rd:
+                    regs[rd] = link
+                return target_idx, -1, 1, pc, False
+
+            return h_jalr
+        if m == "fence":
+
+            def h_fence() -> tuple[int, int, int, int, bool]:
+                return nxt, -1, -1, -1, False
+
+            return h_fence
+        if m == "ecall":
+
+            def h_ecall() -> tuple[int, int, int, int, bool]:
+                return -1, -1, -1, -1, False
+
+            return h_ecall
+        raise VMError(f"no handler for RV opcode {m!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: RvProgram,
+        max_instructions: int = 1_000_000,
+        name: str | None = None,
+    ) -> Trace:
+        """Execute ``program``, returning its canonical dynamic trace."""
+        if max_instructions <= 0:
+            raise ValueError("max_instructions must be positive")
+        self.reset(program)
+        code = program.instructions
+        index_of = {inst.pc: i for i, inst in enumerate(code)}
+        handlers = [
+            self._compile(inst, i, index_of) for i, inst in enumerate(code)
+        ]
+        opids: list[int] = []
+        slot_pairs: list[tuple[tuple, tuple]] = []
+        for inst in code:
+            opids.append(_canonical_opid(inst))
+            slot_pairs.append(_operand_slots(inst))
+        builder = TraceBuilder(name or "rv")
+        append = builder.append
+        idx = 0
+        count = 0
+        while count < max_instructions:
+            inst = code[idx]
+            nxt, mem_addr, taken, target, fault = handlers[idx]()
+            src, dst = slot_pairs[idx]
+            append(inst.pc, opids[idx], src, dst, mem_addr, taken, target, fault)
+            count += 1
+            if nxt < 0:
+                self.halted = True
+                break
+            if nxt >= len(code):
+                raise VMError("execution fell off the end of the code segment")
+            idx = nxt
+        return builder.finalize()
+
+
+def _canonical_opid(inst: RvInstruction) -> int:
+    if inst.mnemonic in ("jal", "jalr"):
+        return jump_opid(inst.mnemonic, inst.rd, inst.rs1)
+    return CANONICAL_OPID[inst.mnemonic]
+
+
+def _operand_slots(inst: RvInstruction) -> tuple[tuple, tuple]:
+    """Static operand registers of ``inst`` as padded canonical slots."""
+    m, fmt = inst.mnemonic, inst.spec.fmt
+    if fmt == "R":
+        return _slots((inst.rs1, inst.rs2), (inst.rd,))
+    if m == "jalr":
+        dsts = (inst.rd,) if inst.rd else ()
+        return _slots((inst.rs1,), dsts)
+    if fmt == "I":
+        return _slots((inst.rs1,), (inst.rd,))
+    if fmt == "IL":
+        return _slots((inst.rs1,), (inst.rd,))
+    if fmt == "S":
+        return _slots((inst.rs1, inst.rs2), ())
+    if fmt == "B":
+        return _slots((inst.rs1, inst.rs2), ())
+    if fmt == "U":
+        return _slots((), (inst.rd,))
+    if fmt == "J":
+        dsts = (inst.rd,) if inst.rd else ()
+        return _slots((), dsts)
+    return _slots((), ())  # SYS
+
+
+def run_program(
+    program: RvProgram, max_instructions: int = 1_000_000, name: str | None = None
+) -> Trace:
+    """Run ``program`` on a fresh machine and return its trace."""
+    return RvMachine().run(program, max_instructions=max_instructions, name=name)
+
+
+# re-exported for callers that address the layout
+__all__ = [
+    "CODE_BASE",
+    "DATA_BASE",
+    "STACK_TOP",
+    "RvMachine",
+    "RvMemory",
+    "run_program",
+    "wrap_i32",
+]

@@ -1,0 +1,191 @@
+"""Scoreboard-style microarchitectural event model for RV traces.
+
+Modeled after the CVA6 cycle-approximate scoreboard (SNIPPETS.md
+snippet 2): a single-issue in-order pipeline with per-class execution
+latencies, a register scoreboard that surfaces RAW/WAW/WAR hazards, one
+unpipelined mul/div unit (STRUCT events while busy) and a 2-bit
+saturating branch predictor (BHIT/BMISS).  It consumes the *canonical*
+:class:`~repro.vm.trace.Trace` — any frontend's trace can be replayed
+through it — and reports cycles plus event counts.
+
+This is deliberately *not* the paper's ground-truth simulator
+(:mod:`repro.sim` remains that); it is the RV frontend's native cycle
+model, useful for sanity-checking that RV workloads exercise distinct
+microarchitectural behaviour and for generating alternative targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from repro.isa.registers import REG_NONE
+from repro.vm.trace import OP_CLASS, OP_IS_COND, Trace
+from repro.isa.opcodes import OpClass
+
+#: Scoreboard event kinds, CVA6-snippet style.
+EventKind = Enum(
+    "EventKind",
+    ["RAW", "WAW", "WAR", "BHIT", "BMISS", "STRUCT", "ISSUE", "DONE", "COMMIT"],
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One pipeline event at an absolute cycle."""
+
+    kind: EventKind
+    cycle: int
+
+    def __repr__(self) -> str:  # "@12: RAW"
+        return f"@{self.cycle}: {self.kind.name}"
+
+
+#: Execution latency per operation class (cycles in EX).
+LATENCY: dict[int, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 3,
+    OpClass.INT_DIV: 12,
+    OpClass.FP_ADD: 3,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 14,
+    OpClass.LOAD: 2,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.JUMP_IND: 1,
+    OpClass.CALL: 1,
+    OpClass.BARRIER: 1,
+    OpClass.NOP: 1,
+    OpClass.HALT: 1,
+}
+
+_MULDIV = (int(OpClass.INT_MUL), int(OpClass.INT_DIV))
+_BMISS_PENALTY = 4
+
+
+@dataclass
+class ScoreboardReport:
+    """Cycle count + event tallies for one trace replay."""
+
+    instructions: int
+    cycles: int
+    events: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / max(self.instructions, 1)
+
+    def as_dict(self) -> dict[str, float]:
+        payload: dict[str, float] = {
+            "instructions": float(self.instructions),
+            "cycles": float(self.cycles),
+            "cpi": self.cpi,
+        }
+        payload.update({k.lower(): float(v) for k, v in self.events.items()})
+        return payload
+
+
+class Scoreboard:
+    """In-order single-issue scoreboard replaying a canonical trace."""
+
+    def __init__(self, record_events: bool = False, max_events: int = 10_000):
+        self._record = record_events
+        self._max_events = max_events
+        self.events: list[Event] = []
+
+    def _emit(self, kind: EventKind, cycle: int, counts: dict[str, int]) -> None:
+        counts[kind.name] = counts.get(kind.name, 0) + 1
+        if self._record and len(self.events) < self._max_events:
+            self.events.append(Event(kind, cycle))
+
+    def run(self, trace: Trace) -> ScoreboardReport:
+        opclass = OP_CLASS[trace.opid]
+        is_cond = OP_IS_COND[trace.opid]
+        taken = trace.branch_taken
+        src_slots = trace.src_slots
+        dst_slots = trace.dst_slots
+
+        counts: dict[str, int] = {}
+        #: register id -> cycle its in-flight write completes
+        write_ready = np.zeros(64, dtype=np.int64)
+        #: register id -> last cycle it was read (for WAR)
+        last_read = np.zeros(64, dtype=np.int64)
+        muldiv_free = 0  # cycle the shared mul/div unit frees up
+        predictor: dict[int, int] = {}  # pc -> 2-bit counter
+        cycle = 0
+
+        for i in range(len(trace)):
+            cls = int(opclass[i])
+            issue = cycle + 1
+
+            # -- data hazards: stall issue until sources are ready --------
+            for reg in src_slots[i]:
+                if reg == REG_NONE:
+                    break
+                ready = int(write_ready[reg])
+                if ready > issue:
+                    self._emit(EventKind.RAW, issue, counts)
+                    issue = ready
+            for reg in dst_slots[i]:
+                if reg == REG_NONE:
+                    break
+                ready = int(write_ready[reg])
+                if ready > issue:
+                    self._emit(EventKind.WAW, issue, counts)
+                    issue = ready
+                read = int(last_read[reg])
+                if read >= issue:
+                    self._emit(EventKind.WAR, issue, counts)
+                    issue = read + 1
+
+            # -- structural hazard: one unpipelined mul/div unit ----------
+            if cls in _MULDIV and muldiv_free > issue:
+                self._emit(EventKind.STRUCT, issue, counts)
+                issue = muldiv_free
+
+            self._emit(EventKind.ISSUE, issue, counts)
+            done = issue + LATENCY.get(cls, 1)
+
+            # -- branch prediction (conditional branches only) ------------
+            if is_cond[i]:
+                pc = int(trace.pc[i])
+                counter = predictor.get(pc, 1)
+                predicted = counter >= 2
+                actual = taken[i] == 1
+                if predicted == actual:
+                    self._emit(EventKind.BHIT, done, counts)
+                else:
+                    self._emit(EventKind.BMISS, done, counts)
+                    done += _BMISS_PENALTY
+                counter = min(counter + 1, 3) if actual else max(counter - 1, 0)
+                predictor[pc] = counter
+
+            self._emit(EventKind.DONE, done, counts)
+
+            # -- retire bookkeeping ---------------------------------------
+            for reg in src_slots[i]:
+                if reg == REG_NONE:
+                    break
+                if issue > last_read[reg]:
+                    last_read[reg] = issue
+            for reg in dst_slots[i]:
+                if reg == REG_NONE:
+                    break
+                write_ready[reg] = done
+            if cls in _MULDIV:
+                muldiv_free = done
+            cycle = issue
+            self._emit(EventKind.COMMIT, done, counts)
+
+        total = int(max(write_ready.max(), cycle))
+        return ScoreboardReport(
+            instructions=len(trace), cycles=total, events=counts
+        )
+
+
+def replay(trace: Trace, record_events: bool = False) -> ScoreboardReport:
+    """Replay ``trace`` through a fresh :class:`Scoreboard`."""
+    return Scoreboard(record_events=record_events).run(trace)

@@ -45,8 +45,8 @@ from repro.models.base import (
     coalesce_streams,
 )
 from repro.models.registry import register
+from repro.frontends import DEFAULT_FRONTEND, get_frontend
 from repro.uarch.config import MicroarchConfig, config_from_dict
-from repro.workloads import get_trace
 
 
 def _require_configs(
@@ -241,6 +241,7 @@ class IthemalAdapter(_BaselineAdapter):
         self.trace_seed = trace_seed
         self._model: IthemalModel | None = None
         self._resolved_config: str | None = None
+        self._isa: str = DEFAULT_FRONTEND
 
     @property
     def metadata(self) -> dict:
@@ -249,20 +250,32 @@ class IthemalAdapter(_BaselineAdapter):
         return {
             "config_name": self._resolved_config,
             "scale": self._model._scale,
+            "isa": self._isa,
         }
 
     @property
     def config_names(self) -> tuple[str, ...]:
         return (self._resolved_config,) if self._resolved_config else ()
 
-    def _blocks(self, name: str, n_instructions: int, latencies: np.ndarray):
-        trace = get_trace(name, n_instructions, seed=self.trace_seed)
+    def _blocks(
+        self, name: str, n_instructions: int,
+        latencies: np.ndarray | None, isa: str | None = None,
+    ):
+        trace = get_frontend(isa or self._isa).trace(
+            name, n_instructions, seed=self.trace_seed
+        )
+        if latencies is None:
+            # serving: block structure only — sized to the trace the
+            # frontend actually produced (imports may be shorter than
+            # the requested budget)
+            latencies = np.zeros(len(trace))
         return extract_basic_blocks(trace, latencies, self.max_block_len)
 
     def fit(self, dataset: TraceDataset,
             configs: list[MicroarchConfig] | None = None) -> "IthemalAdapter":
         column = _resolve_column(dataset, self.config_name)
         self._resolved_config = dataset.config_names[column]
+        self._isa = dataset.isa
         blocks = []
         for name, start, end in dataset.segments:
             latencies = dataset.targets[start:end, column].astype(np.float64)
@@ -280,7 +293,9 @@ class IthemalAdapter(_BaselineAdapter):
         for request in requests:
             n = request.require_length()
             # block structure depends only on the trace, not on latencies
-            blocks = self._blocks(request.benchmark, n, np.zeros(n))
+            blocks = self._blocks(
+                request.benchmark, n, None, isa=request.isa
+            )
             out.append(np.array([float(self._model.predict(blocks).sum())]))
         return out
 
@@ -296,6 +311,7 @@ class IthemalAdapter(_BaselineAdapter):
         model._scale = float(metadata["scale"])
         self._model = model
         self._resolved_config = metadata["config_name"]
+        self._isa = metadata.get("isa", DEFAULT_FRONTEND)
 
 
 # ---------------------------------------------------------------------------
@@ -326,6 +342,7 @@ class SimNetAdapter(_BaselineAdapter):
         self.trace_seed = trace_seed
         self._model: SimNetModel | None = None
         self._config: MicroarchConfig | None = None
+        self._isa: str = DEFAULT_FRONTEND
 
     @property
     def metadata(self) -> dict:
@@ -334,6 +351,7 @@ class SimNetAdapter(_BaselineAdapter):
         return {
             "config": self._config.to_dict(),
             "scale": self._model._scale,
+            "isa": self._isa,
         }
 
     @property
@@ -345,9 +363,11 @@ class SimNetAdapter(_BaselineAdapter):
         configs = _require_configs(self.family, dataset, configs)
         column = _resolve_column(dataset, self.config_name)
         self._config = configs[column]
+        self._isa = dataset.isa
+        frontend = get_frontend(dataset.isa)
         features, latencies = [], []
         for name, start, end in dataset.segments:
-            trace = get_trace(name, end - start, seed=self.trace_seed)
+            trace = frontend.trace(name, end - start, seed=self.trace_seed)
             features.append(simnet_features(trace, self._config))
             latencies.append(
                 dataset.targets[start:end, column].astype(np.float64)
@@ -363,7 +383,7 @@ class SimNetAdapter(_BaselineAdapter):
     ) -> list[np.ndarray]:
         out = []
         for request in requests:
-            trace = get_trace(
+            trace = get_frontend(request.isa or self._isa).trace(
                 request.benchmark, request.require_length(),
                 seed=self.trace_seed,
             )
@@ -386,6 +406,7 @@ class SimNetAdapter(_BaselineAdapter):
         model._scale = float(metadata["scale"])
         self._model = model
         self._config = config_from_dict(metadata["config"])
+        self._isa = metadata.get("isa", DEFAULT_FRONTEND)
 
 
 class _SingleBenchmarkAdapter(_BaselineAdapter):

@@ -66,13 +66,17 @@ class PredictRequest:
     * ``n_instructions`` — trace length, for trace-walking families that
       regenerate the benchmark's trace deterministically;
     * ``signature_times`` — measured times on the signature
-      configurations (the cross-program baseline's extra input).
+      configurations (the cross-program baseline's extra input);
+    * ``isa`` — the trace frontend the benchmark name resolves against
+      (``None`` means "whatever the model was fitted on"); trace-walking
+      families use it to fetch traces through :mod:`repro.frontends`.
     """
 
     benchmark: str
     features: np.ndarray | None = None
     n_instructions: int | None = None
     signature_times: np.ndarray | None = None
+    isa: str | None = None
 
     def require_features(self) -> np.ndarray:
         if self.features is None:
@@ -181,6 +185,7 @@ class PerformanceModel(abc.ABC):
                 benchmark=name,
                 features=dataset.features[start:end],
                 n_instructions=end - start,
+                isa=dataset.isa,
             )
             for name, start, end in dataset.segments
         ]

@@ -59,14 +59,23 @@ def _canonical(payload) -> bytes:
     return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode()
 
 
-def training_provenance(scale: str, family: str, benchmarks) -> dict:
+def training_provenance(
+    scale: str, family: str, benchmarks, isa: str | None = None
+) -> dict:
     """The canonical ``train_config`` dict artifacts are keyed by.
 
     :meth:`repro.api.Session.train` and
     :func:`repro.experiments.common.trained_model` both build it here, so
     a model trained by one is found — byte-identically — by the other.
+    ``isa`` (the trace frontend) enters the key only when it is not the
+    default, keeping every pre-frontend artifact findable.
     """
-    return {"scale": scale, "family": family, "benchmarks": list(benchmarks)}
+    from repro.frontends import DEFAULT_FRONTEND
+
+    config = {"scale": scale, "family": family, "benchmarks": list(benchmarks)}
+    if isa is not None and isa != DEFAULT_FRONTEND:
+        config["isa"] = isa
+    return config
 
 
 def _digest_arrays(arrays: dict[str, np.ndarray]) -> str:

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from repro.core.errors import UnknownExperimentError
 from repro.experiments import (
+    cross_isa,
     fig3_seen_unseen,
     fig4_retrain_lbm,
     fig5_unseen_uarch,
@@ -40,6 +41,7 @@ SPECS: dict[str, ExperimentSpec] = {
         table4_dse_methods,
         fig7_cache_dse,
         fig8_loop_tiling,
+        cross_isa,
     )
 }
 

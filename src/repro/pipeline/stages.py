@@ -142,11 +142,28 @@ def raise_spec_error(message: str) -> None:
 BENCHMARK_ALIASES = ("train", "test", "all", "updated-train", "updated-test")
 
 
-def resolve_benchmarks(value) -> tuple[str, ...]:
-    """A spec's ``benchmarks`` value (alias or explicit list) to names."""
+def resolve_benchmarks(value, isa: str | None = None) -> tuple[str, ...]:
+    """A spec's ``benchmarks`` value (alias or explicit list) to names.
+
+    With ``isa``, the ``train``/``test``/``all`` aliases resolve against
+    that frontend's suite instead of the mini-ASM workloads.
+    """
+    from repro.frontends import DEFAULT_FRONTEND, get_frontend
     from repro.workloads import ALL_BENCHMARKS, TEST_BENCHMARKS, TRAIN_BENCHMARKS
 
     if isinstance(value, str):
+        if isa is not None and isa != DEFAULT_FRONTEND:
+            frontend = get_frontend(isa)
+            if value == "train":
+                return tuple(frontend.train_benchmarks())
+            if value == "test":
+                return tuple(frontend.test_benchmarks())
+            if value == "all":
+                return tuple(frontend.benchmarks())
+            raise UnknownExperimentError(
+                value, ("train", "test", "all"),
+                kind=f"benchmark alias for isa {isa!r}",
+            )
         if value == "train":
             return tuple(TRAIN_BENCHMARKS)
         if value == "test":
@@ -195,27 +212,40 @@ def _model_artifact(stage, inputs: Mapping) -> str:
 # ---------------------------------------------------------------------------
 # built-in kinds
 # ---------------------------------------------------------------------------
+def _stage_isa(stage) -> str | None:
+    """The stage's ``isa`` parameter (``None`` means the default frontend)."""
+    return stage.params.get("isa")
+
+
 def _run_dataset(ctx: StageContext, stage, inputs) -> dict:
     from repro.experiments.common import benchmark_dataset
 
-    benchmarks = resolve_benchmarks(stage.params["benchmarks"])
+    isa = _stage_isa(stage)
+    benchmarks = resolve_benchmarks(stage.params["benchmarks"], isa=isa)
     configs = resolve_configs(ctx, stage)
     instructions = stage.params.get("instructions")
     ds = benchmark_dataset(
-        ctx.scale, benchmarks, configs=configs, instructions=instructions
+        ctx.scale, benchmarks, configs=configs, instructions=instructions,
+        isa=isa,
     )
-    return {
+    payload = {
         "benchmarks": list(benchmarks),
         "config_names": list(ds.config_names),
         "rows": len(ds),
         "fingerprint": ds.fingerprint(),
     }
+    if isa is not None:
+        payload["isa"] = ds.isa
+    return payload
 
 
 def _run_train(ctx: StageContext, stage, inputs) -> dict:
+    from repro.frontends import DEFAULT_FRONTEND
+
     family = stage.params.get("family", "perfvec")
-    benchmarks = resolve_benchmarks(stage.params["benchmarks"])
-    if family == "perfvec":
+    isa = _stage_isa(stage)
+    benchmarks = resolve_benchmarks(stage.params["benchmarks"], isa=isa)
+    if family == "perfvec" and (isa is None or isa == DEFAULT_FRONTEND):
         from repro.experiments.common import trained_artifact
 
         artifact = trained_artifact(
@@ -224,23 +254,41 @@ def _run_train(ctx: StageContext, stage, inputs) -> dict:
             epochs=stage.params.get("epochs"),
         )
         return {"artifact": artifact, "family": family}
-    # other families ride the Session train-or-reuse path
+    # other families (and non-default frontends) ride the Session
+    # train-or-reuse path
     from repro.api import Session
 
-    session = Session(scale=ctx.scale, cache_dir=ctx.cache_dir, jobs=ctx.jobs)
-    result = session.train(
-        family=family, benchmarks=benchmarks, evaluate=False
+    session = Session(
+        scale=ctx.scale, cache_dir=ctx.cache_dir, jobs=ctx.jobs,
+        frontend=isa or DEFAULT_FRONTEND,
     )
-    return {"artifact": result.artifact_id, "family": family,
-            "reused": result.reused}
+    overrides: dict = {}
+    if family == "perfvec":
+        if stage.params.get("arch") is not None:
+            overrides["arch"] = stage.params["arch"]
+        if stage.params.get("epochs") is not None:
+            overrides["epochs"] = stage.params["epochs"]
+    result = session.train(
+        family=family, benchmarks=benchmarks, evaluate=False, **overrides
+    )
+    payload = {"artifact": result.artifact_id, "family": family,
+               "reused": result.reused}
+    if isa is not None:
+        payload["isa"] = session.frontend
+    return payload
 
 
 def _run_evaluate(ctx: StageContext, stage, inputs) -> dict:
     from repro.api import Session
+    from repro.frontends import DEFAULT_FRONTEND
 
-    benchmarks = resolve_benchmarks(stage.params["benchmarks"])
+    isa = _stage_isa(stage)
+    benchmarks = resolve_benchmarks(stage.params["benchmarks"], isa=isa)
     artifact = _model_artifact(stage, inputs)
-    session = Session(scale=ctx.scale, cache_dir=ctx.cache_dir, jobs=ctx.jobs)
+    session = Session(
+        scale=ctx.scale, cache_dir=ctx.cache_dir, jobs=ctx.jobs,
+        frontend=isa or DEFAULT_FRONTEND,
+    )
     errors = session.evaluate(benchmarks, artifact=artifact)
     rows = [
         [name, f"{s.mean:.1%}", f"{s.std:.1%}", f"{s.min:.1%}", f"{s.max:.1%}"]
@@ -258,10 +306,15 @@ def _run_evaluate(ctx: StageContext, stage, inputs) -> dict:
 
 def _run_predict(ctx: StageContext, stage, inputs) -> dict:
     from repro.api import Session
+    from repro.frontends import DEFAULT_FRONTEND
 
-    benchmarks = resolve_benchmarks(stage.params["benchmarks"])
+    isa = _stage_isa(stage)
+    benchmarks = resolve_benchmarks(stage.params["benchmarks"], isa=isa)
     artifact = _model_artifact(stage, inputs)
-    session = Session(scale=ctx.scale, cache_dir=ctx.cache_dir, jobs=ctx.jobs)
+    session = Session(
+        scale=ctx.scale, cache_dir=ctx.cache_dir, jobs=ctx.jobs,
+        frontend=isa or DEFAULT_FRONTEND,
+    )
     times = session.predict_many(benchmarks, artifact=artifact)
     rows = [
         [name, len(per_config), float(min(per_config.values())),
@@ -326,22 +379,23 @@ def _run_report(ctx: StageContext, stage, inputs) -> dict:
 
 register_kind(StageKind(
     kind="dataset", run=_run_dataset,
-    params=frozenset({"benchmarks", "configs", "count", "instructions"}),
+    params=frozenset({"benchmarks", "configs", "count", "instructions",
+                      "isa"}),
     required=frozenset({"benchmarks"}),
 ))
 register_kind(StageKind(
     kind="train", run=_run_train,
-    params=frozenset({"benchmarks", "family", "arch", "epochs"}),
+    params=frozenset({"benchmarks", "family", "arch", "epochs", "isa"}),
     required=frozenset({"benchmarks"}),
 ))
 register_kind(StageKind(
     kind="evaluate", run=_run_evaluate,
-    params=frozenset({"benchmarks"}),
+    params=frozenset({"benchmarks", "isa"}),
     required=frozenset({"benchmarks"}),
 ))
 register_kind(StageKind(
     kind="predict", run=_run_predict,
-    params=frozenset({"benchmarks"}),
+    params=frozenset({"benchmarks", "isa"}),
     required=frozenset({"benchmarks"}),
 ))
 register_kind(StageKind(

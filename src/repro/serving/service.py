@@ -150,9 +150,11 @@ class PredictionService:
         batch_window_s: float = 0.002,
         mmap: bool = False,
         jit: bool | None = None,
+        frontend: str | None = None,
     ):
         self.session = session or Session(
-            scale=scale, cache_dir=cache_dir, jit=jit
+            scale=scale, cache_dir=cache_dir, jit=jit,
+            **({"frontend": frontend} if frontend else {}),
         )
         self.max_batch = max_batch
         self.batch_window_s = batch_window_s
@@ -282,6 +284,7 @@ class PredictionService:
         with self._lock:
             payload = {
                 "scale": self.session.scale.name,
+                "frontend": self.session.frontend,
                 "models_cached": len(self._models),
                 "features_cached": len(self._features),
             }

@@ -1,0 +1,129 @@
+"""ISA identity threading: fingerprints, cache keys, provenance, stages.
+
+The contract under test: ``isa`` enters every derived identity — dataset
+fingerprints, feature-cache keys, artifact ``train_config`` — **only**
+when it differs from the default frontend, so every artifact produced
+before frontends existed keeps its address.
+"""
+
+import pytest
+
+from repro.features.dataset import TraceDataset, build_dataset
+from repro.features.feature_cache import feature_key
+from repro.frontends import DEFAULT_FRONTEND
+from repro.models.store import training_provenance
+from repro.pipeline.stages import resolve_benchmarks
+from repro.uarch.presets import skylake_like
+
+
+def _tiny_dataset(tmp_path, isa=DEFAULT_FRONTEND, benchmark=None):
+    benchmark = benchmark or ("rv.gcd" if isa == "rv" else "999.specrand")
+    return build_dataset(
+        [benchmark],
+        [skylake_like()],
+        max_instructions=150,
+        cache_dir=str(tmp_path),
+        isa=isa,
+    )
+
+
+# -- fingerprints and cache keys -----------------------------------------
+
+
+def test_default_isa_fingerprint_matches_pre_frontend_hash(tmp_path):
+    explicit = _tiny_dataset(tmp_path / "a", isa=DEFAULT_FRONTEND)
+    implicit = build_dataset(
+        ["999.specrand"],
+        [skylake_like()],
+        max_instructions=150,
+        cache_dir=str(tmp_path / "b"),
+    )
+    assert explicit.fingerprint() == implicit.fingerprint()
+
+
+def test_rv_fingerprint_differs(tmp_path):
+    mini = _tiny_dataset(tmp_path / "a")
+    rv = _tiny_dataset(tmp_path / "b", isa="rv")
+    assert rv.isa == "rv"
+    assert mini.fingerprint() != rv.fingerprint()
+
+
+def test_feature_key_is_isa_conditional():
+    base = feature_key("bm", 1000, 0)
+    assert feature_key("bm", 1000, 0, isa=DEFAULT_FRONTEND) == base
+    assert feature_key("bm", 1000, 0, isa="rv") != base
+
+
+def test_training_provenance_is_isa_conditional():
+    base = training_provenance("smoke", "perfvec", ["a", "b"])
+    assert training_provenance("smoke", "perfvec", ["a", "b"],
+                               isa=DEFAULT_FRONTEND) == base
+    assert "isa" not in base
+    rv = training_provenance("smoke", "perfvec", ["a", "b"], isa="rv")
+    assert rv["isa"] == "rv"
+
+
+def test_dataset_requests_carry_the_isa(tmp_path):
+    from repro.models.registry import create
+
+    ds = _tiny_dataset(tmp_path, isa="rv")
+    model = create("ithemal")
+    requests = model.dataset_requests(ds)
+    assert requests and all(r.isa == "rv" for r in requests)
+
+
+def test_trace_dataset_defaults_to_default_frontend(tmp_path):
+    ds = _tiny_dataset(tmp_path)
+    assert isinstance(ds, TraceDataset)
+    assert ds.isa == DEFAULT_FRONTEND
+
+
+# -- pipeline stage plumbing ---------------------------------------------
+
+
+def test_resolve_benchmarks_aliases_follow_the_frontend():
+    from repro.frontends import get_frontend
+    from repro.workloads import TRAIN_BENCHMARKS
+
+    assert resolve_benchmarks("train") == tuple(TRAIN_BENCHMARKS)
+    assert resolve_benchmarks("train", isa=DEFAULT_FRONTEND) == tuple(
+        TRAIN_BENCHMARKS
+    )
+    rv = get_frontend("rv")
+    assert resolve_benchmarks("train", isa="rv") == tuple(rv.train_benchmarks())
+    assert resolve_benchmarks("all", isa="rv") == tuple(rv.benchmarks())
+
+
+def test_resolve_benchmarks_rejects_special_aliases_under_rv():
+    from repro.core.errors import UnknownExperimentError
+
+    with pytest.raises(UnknownExperimentError):
+        resolve_benchmarks("updated-train", isa="rv")
+
+
+def test_stage_kinds_accept_isa_param():
+    from repro.pipeline.stages import STAGE_KINDS
+
+    for kind in ("dataset", "train", "evaluate", "predict"):
+        assert "isa" in STAGE_KINDS[kind].params, kind
+
+
+def test_session_rejects_unknown_frontend(tmp_path):
+    from repro.api import Session
+    from repro.core.errors import UnknownExperimentError
+
+    with pytest.raises(UnknownExperimentError):
+        Session(scale="smoke", cache_dir=str(tmp_path), frontend="sparc")
+
+
+def test_session_rejects_cross_frontend_benchmark(tmp_path):
+    from repro.api import Session
+    from repro.core.errors import UnknownBenchmarkError
+    from repro.models.registry import create
+
+    session = Session(scale="smoke", cache_dir=str(tmp_path), frontend="rv")
+    model = create("ithemal")
+    with pytest.raises(UnknownBenchmarkError):
+        session.serve_request(model, "999.specrand")
+    request = session.serve_request(model, "rv.gcd")
+    assert request.isa == "rv"

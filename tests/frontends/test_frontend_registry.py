@@ -1,0 +1,73 @@
+"""Frontend registry: lookup, suggestions, delegation to the VM suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import UnknownExperimentError
+from repro.frontends import (
+    DEFAULT_FRONTEND,
+    available_frontends,
+    frontend_names,
+    get_frontend,
+)
+
+
+def test_builtin_frontends_registered():
+    assert frontend_names() == ("imported", "mini-asm", "rv")
+    assert set(available_frontends()) == {"imported", "mini-asm", "rv"}
+
+
+def test_default_is_mini_asm():
+    assert DEFAULT_FRONTEND == "mini-asm"
+
+
+def test_get_frontend_memoizes_instances():
+    assert get_frontend("rv") is get_frontend("rv")
+
+
+def test_unknown_frontend_raises_with_suggestion():
+    with pytest.raises(UnknownExperimentError) as err:
+        get_frontend("rvv")
+    assert "rv" in str(err.value)
+    # KeyError-compatible: callers catching KeyError keep working
+    assert isinstance(err.value, KeyError)
+
+
+def test_mini_asm_delegates_to_workloads():
+    from repro.workloads import ALL_BENCHMARKS, get_trace
+
+    frontend = get_frontend("mini-asm")
+    assert frontend.benchmarks() == tuple(ALL_BENCHMARKS)
+    ours = frontend.trace("999.specrand", 300)
+    theirs = get_trace("999.specrand", 300)
+    assert np.array_equal(ours.opid, theirs.opid)
+    assert np.array_equal(ours.pc, theirs.pc)
+
+
+def test_rv_frontend_surface():
+    frontend = get_frontend("rv")
+    assert frontend.has_vocabulary
+    names = frontend.benchmarks()
+    assert set(frontend.train_benchmarks()) | set(
+        frontend.test_benchmarks()
+    ) == set(names)
+    trace = frontend.trace(names[0], 400)
+    assert len(trace) == 400
+
+
+def test_vocabulary_maps_to_canonical_ids():
+    from repro.isa.opcodes import OPCODE_IDS
+    from repro.isa.registers import NUM_REGS
+
+    rv = get_frontend("rv")
+    assert rv.operation_id("add") == OPCODE_IDS["add"]
+    assert rv.operation_id("sll") == OPCODE_IDS["shl"]
+    assert rv.operation_id("lw") == OPCODE_IDS["ld"]
+    assert 0 <= rv.register_id("sp") < NUM_REGS
+    with pytest.raises(KeyError):
+        rv.operation_id("vadd.vv")
+
+
+def test_imported_frontend_has_no_vocabulary():
+    imported = get_frontend("imported")
+    assert not imported.has_vocabulary

@@ -1,0 +1,102 @@
+"""RV assembler: labels, pseudo-instructions, data, diagnostics."""
+
+import pytest
+
+from repro.frontends.rv.assembler import (
+    CODE_BASE,
+    DATA_BASE,
+    RvAssemblyError,
+    assemble,
+)
+
+
+def test_minimal_program():
+    program = assemble("ecall")
+    assert len(program.instructions) == 1
+    assert program.instructions[0].pc == CODE_BASE
+
+
+def test_labels_resolve_relative_branches():
+    program = assemble(
+        """
+        main:   li t0, 3
+        loop:   addi t0, t0, -1
+                bnez t0, loop
+                ecall
+        """
+    )
+    assert program.labels["main"] == CODE_BASE
+    assert program.labels["loop"] == CODE_BASE + 4
+    bnez = program.instructions[2]
+    # B-immediates are pc-relative
+    assert bnez.pc + bnez.imm == program.labels["loop"]
+
+
+def test_li_splits_large_constants():
+    small = assemble("li t0, 100")
+    large = assemble("li t0, 0x12345")
+    assert len(small.instructions) == 1
+    assert len(large.instructions) == 2  # lui + addi
+
+
+@pytest.mark.parametrize("value", [
+    0, 1, -1, 2047, -2048, 2048, 4096, 0x7FFFF000, -0x80000000,
+    0x12345678, -0x1234567,
+])
+def test_li_reconstructs_the_constant(value):
+    from repro.frontends.rv.machine import RvMachine, wrap_i32
+
+    program = assemble(f"li a0, {value}\necall")
+    machine = RvMachine()
+    trace = machine.run(program, max_instructions=4)
+    assert len(trace) >= 2
+    assert machine.regs[10] == wrap_i32(value)  # a0 = x10
+
+
+def test_data_words_land_at_data_base():
+    program = assemble(
+        """
+        .data
+        table: .word 7, 8, 9
+        .text
+        ecall
+        """
+    )
+    assert program.labels["table"] == DATA_BASE
+    assert program.data == (7, 8, 9)
+
+
+def test_memory_operand_syntax():
+    program = assemble("lw t0, 8(sp)\necall")
+    lw = program.instructions[0]
+    assert lw.mnemonic == "lw"
+    assert lw.imm == 8
+
+
+def test_errors_carry_line_numbers():
+    with pytest.raises(RvAssemblyError) as err:
+        assemble("addi t0, t0, 1\nbogus t1, t2\necall")
+    assert "line 2" in str(err.value)
+
+
+def test_unknown_label_is_an_error():
+    with pytest.raises(RvAssemblyError):
+        assemble("j nowhere\necall")
+
+
+def test_out_of_range_immediate_is_an_error():
+    with pytest.raises(RvAssemblyError) as err:
+        assemble("addi t0, t0, 99999")
+    assert "line 1" in str(err.value)
+
+
+def test_comments_and_blank_lines_ignored():
+    program = assemble(
+        """
+        # leading comment
+        addi t0, t0, 1  # trailing comment
+
+        ecall           ; alt comment style
+        """
+    )
+    assert len(program.instructions) == 2

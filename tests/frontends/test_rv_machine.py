@@ -1,0 +1,136 @@
+"""RV interpreter semantics and canonical trace emission."""
+
+import numpy as np
+import pytest
+
+from repro.frontends.rv import kernels
+from repro.frontends.rv.assembler import assemble
+from repro.frontends.rv.machine import RvMachine, run_program, wrap_i32
+from repro.isa.opcodes import OPCODE_IDS
+from repro.isa.registers import REG_NONE
+
+
+def _run(source: str, max_instructions: int = 1000):
+    machine = RvMachine()
+    trace = machine.run(assemble(source), max_instructions=max_instructions)
+    return machine, trace
+
+
+def test_arithmetic_wraps_to_32_bits():
+    machine, _ = _run(
+        """
+        li t0, 0x7fffffff
+        addi t0, t0, 1
+        ecall
+        """
+    )
+    assert machine.regs[5] == wrap_i32(0x80000000)
+
+
+def test_x0_stays_zero():
+    machine, _ = _run("addi x0, x0, 5\necall")
+    assert machine.regs[0] == 0
+
+
+def test_div_by_zero_riscv_semantics():
+    # RISC-V: quotient all-ones, remainder = dividend — no trap
+    machine, trace = _run(
+        """
+        li a0, 7
+        li a1, 0
+        div a2, a0, a1
+        rem a3, a0, a1
+        ecall
+        """
+    )
+    assert machine.regs[12] == wrap_i32(-1)
+    assert machine.regs[13] == 7
+    assert bool(trace.fault.any())  # flagged in the trace, not fatal
+
+
+def test_loads_and_stores_round_trip():
+    machine, trace = _run(
+        """
+        .data
+        buf: .word 11, 22
+        .text
+        li t0, 0x100000
+        lw t1, 0(t0)
+        lw t2, 4(t0)
+        add t3, t1, t2
+        sw t3, 8(t0)
+        lw t4, 8(t0)
+        ecall
+        """
+    )
+    assert machine.regs[29] == 33  # t4
+    load_id = OPCODE_IDS["ld"]
+    loads = trace.mem_addr[trace.opid == load_id]
+    assert (loads >= 0).all()
+
+
+def test_branch_taken_recorded_both_ways():
+    _, trace = _run(
+        """
+        li t0, 1
+        beqz t0, skip      # not taken
+        bnez t0, skip      # taken
+        addi t0, t0, 1
+        skip: ecall
+        """
+    )
+    cond = trace.branch_taken[trace.branch_taken >= 0]
+    assert list(cond) == [0, 1]
+
+
+def test_call_ret_map_to_canonical_jump_ops():
+    _, trace = _run(
+        """
+        main:  call helper
+               ecall
+        helper: ret
+        """
+    )
+    opids = set(trace.opid.tolist())
+    assert OPCODE_IDS["call"] in opids
+    assert OPCODE_IDS["ret"] in opids
+
+
+def test_registers_map_into_canonical_slots():
+    from repro.frontends.rv.isa import CANONICAL_REG
+
+    _, trace = _run("add t0, t1, t2\necall")
+    srcs = [s for s in trace.src_slots[0] if s != REG_NONE]
+    assert set(srcs) == {CANONICAL_REG[6], CANONICAL_REG[7]}  # t1, t2
+    dsts = [d for d in trace.dst_slots[0] if d != REG_NONE]
+    assert dsts == [CANONICAL_REG[5]]  # t0
+
+
+def test_max_instructions_caps_infinite_loops():
+    trace = run_program(assemble("spin: j spin"), max_instructions=50)
+    assert len(trace) == 50
+
+
+@pytest.mark.parametrize("name", kernels.ALL_BENCHMARKS)
+def test_kernels_produce_full_length_valid_traces(name):
+    trace = kernels.get_trace(name, 1500)
+    assert len(trace) == 1500
+    assert (trace.opid >= 0).all()
+    # every kernel must exercise branches (the uarch model needs them)
+    assert (trace.branch_taken >= 0).any()
+
+
+def test_kernel_traces_are_deterministic():
+    a = kernels.get_trace("rv.hashmix", 800)
+    kernels.clear_trace_cache()
+    b = kernels.get_trace("rv.hashmix", 800)
+    assert np.array_equal(a.opid, b.opid)
+    assert np.array_equal(a.pc, b.pc)
+    assert np.array_equal(a.mem_addr, b.mem_addr)
+
+
+def test_kernel_seed_changes_data_not_validity():
+    a = kernels.get_trace("rv.bsearch", 600, seed=1)
+    b = kernels.get_trace("rv.bsearch", 600, seed=2)
+    assert len(a) == len(b) == 600
+    assert not np.array_equal(a.branch_taken, b.branch_taken)
