@@ -132,6 +132,27 @@ def open_loop(submit, requests, rate_rps: float, timeout_s: float = 120.0):
     }
 
 
+def metrics_block() -> dict:
+    """The obs registry compacted for a ``BENCH_*.json`` report.
+
+    Counters/gauges flatten to ``{series: value}``; histograms keep only
+    their p50/p95/p99 summary — enough to answer "what did the serving/
+    cache/jit machinery do during this run" without the full buckets.
+    """
+    from repro import obs
+    from repro.obs.metrics import _fmt_labels
+
+    block: dict = {}
+    for name, family in obs.metrics_snapshot().items():
+        for row in family["series"]:
+            series = f"{name}{_fmt_labels(row['labels'])}"
+            if family["kind"] == "histogram":
+                block[series] = row["summary"]
+            else:
+                block[series] = row["value"]
+    return block
+
+
 def run_and_record(name: str) -> ExperimentResult:
     """Run one experiment, persist and report its rows."""
     result = run_experiment(name, scale=SCALE, jobs=JOBS)

@@ -170,6 +170,9 @@ def main(argv=None) -> int:
           f"({imports['warm_speedup']:.0f}x, "
           f"cache_hit={imports['warm_cache_hit']})")
 
+    from _bench_util import metrics_block
+
+    report["metrics"] = metrics_block()
     if args.output:
         out = args.output
     else:

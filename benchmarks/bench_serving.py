@@ -44,7 +44,13 @@ import os
 import sys
 import time
 
-from _bench_util import latency_summary, open_loop, percentile, time_each
+from _bench_util import (
+    latency_summary,
+    metrics_block,
+    open_loop,
+    percentile,
+    time_each,
+)
 
 
 def _time(fn, repeats: int = 1) -> float:
@@ -410,6 +416,7 @@ def main(argv: list[str] | None = None) -> int:
                   f"service) {cal['from_workers']}->{cal['to_workers']} "
                   f"workers: {cal['throughput_ratio']:.2f}x throughput")
 
+    report["metrics"] = metrics_block()
     output = args.output or os.path.join("results", "BENCH_serving.json")
     os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
     with open(output, "w") as fh:

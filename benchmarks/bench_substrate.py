@@ -192,6 +192,9 @@ def main(argv: list[str] | None = None) -> int:
               f"jit {1e3 * row['compiled_seconds']:7.3f} ms  "
               f"speedup {row['speedup']:.2f}x  "
               f"max|diff| {row['max_abs_diff']:.2e}")
+    from _bench_util import metrics_block
+
+    report["metrics"] = metrics_block()
     output = args.output or os.path.join("results", "BENCH_jit.json")
     os.makedirs(os.path.dirname(output) or ".", exist_ok=True)
     with open(output, "w") as fh:

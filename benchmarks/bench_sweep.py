@@ -230,6 +230,9 @@ def main(argv: list[str] | None = None) -> int:
               f"{scaling['to_workers']} workers: "
               f"{scaling['points_per_s_ratio']:.2f}x points/s")
 
+    from _bench_util import metrics_block
+
+    report["metrics"] = metrics_block()
     output = args.output or os.path.join(
         os.path.dirname(os.path.abspath(__file__)), "BENCH_sweep.json"
     )

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import jit as _jit
+from repro import obs
 from repro.cache import dataset_cache_dir, model_store_dir
 from repro.core.errors import (
     ErrorSummary,
@@ -190,7 +191,9 @@ class Session:
             model = self.store.load(artifact_id, expect_fingerprint=fingerprint)
             reused = True
         else:
-            with self._jit_scope():
+            with obs.span(
+                "session.train", family=family, scale=self.scale.name
+            ), self._jit_scope():
                 model = create(family, **spec).fit(
                     dataset, configs=self.configs()
                 )
@@ -366,7 +369,9 @@ class Session:
             )
             for name in benchmarks
         ]
-        with self._jit_scope():
+        with obs.span(
+            "session.predict", family=family, benchmarks=len(requests)
+        ), self._jit_scope():
             results = model.predict_batch(requests)
         return {
             request.benchmark: dict(

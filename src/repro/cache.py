@@ -53,6 +53,17 @@ def jit_cache_dir(root: str | None = None) -> str:
     return os.path.join(cache_root(root), "jit")
 
 
+def obs_dir(root: str | None = None) -> str:
+    """Where :mod:`repro.obs` appends trace logs and flight dumps.
+
+    Shares the cache root so every process in one run (coordinator,
+    cluster workers, queue workers) writes span files next to each
+    other — the ``repro obs`` viewers stitch a trace by reading the
+    whole directory.
+    """
+    return os.path.join(cache_root(root), "obs")
+
+
 def imported_trace_dir(root: str | None = None) -> str:
     """Where :mod:`repro.frontends.trace_import` publishes ingested traces."""
     return os.path.join(cache_root(root), "imported")

@@ -37,6 +37,15 @@ The serving/prediction subcommands additionally take ``--jit`` /
 ``--no-jit`` to pin the :mod:`repro.jit` compiled-kernel tier on or off
 (equivalent to setting ``REPRO_JIT``; the default is on). ``repro
 models show`` lists the kernels published under ``<cache>/jit/``.
+
+Observability (``repro.obs``): ``--obs`` / ``--no-obs`` on the serving
+and pipeline subcommands turns structured span tracing on or off
+(equivalent to setting ``REPRO_OBS``; default off — metrics counters
+are always on).  Captured traces are inspected with::
+
+    repro obs list                  # recent traces, newest first
+    repro obs trace <trace-id>      # one trace's span tree
+    repro obs top                   # hot-path table across all traces
 """
 
 from __future__ import annotations
@@ -414,6 +423,45 @@ def _cmd_models(args) -> int:
     return 0
 
 
+def _cmd_obs(args) -> int:
+    """`repro obs trace|top|list`: render captured span traces."""
+    from repro import obs
+
+    if args.action == "trace":
+        if not args.trace:
+            rows = obs.list_traces()
+            if not rows:
+                print("no traces recorded (run with --obs or REPRO_OBS=1)")
+                return 2
+            print("usage: repro obs trace <trace-id>; recent traces:")
+            for row in rows[:10]:
+                print(f"  {row['trace']}  {row['root']}")
+            return 2
+        print(obs.render_trace(args.trace))
+        return 0
+    if args.action == "top":
+        print(obs.render_top(limit=args.limit))
+        return 0
+    rows = obs.list_traces()
+    if not rows:
+        print("no traces recorded (run with --obs or REPRO_OBS=1)")
+        return 0
+    print(f"{len(rows)} trace(s), newest first:")
+    for row in rows[: args.limit]:
+        duration = (f"{row['duration_s']:.3f}s"
+                    if row["duration_s"] is not None else "...")
+        flags = []
+        if row["truncated"]:
+            flags.append(f"{row['truncated']} truncated")
+        if row["errors"]:
+            flags.append(f"{row['errors']} error(s)")
+        suffix = f"  [{', '.join(flags)}]" if flags else ""
+        print(f"  {row['trace']}  {row['root']:<24s} "
+              f"{row['spans']:>4d} spans  {row['processes']} proc  "
+              f"{duration}{suffix}")
+    return 0
+
+
 def _print_jit_summary() -> None:
     """Compiled kernels published under ``<cache>/jit/`` (models show)."""
     from repro import jit
@@ -467,6 +515,14 @@ def _add_jit_flag(parser: argparse.ArgumentParser) -> None:
         "--jit", action=argparse.BooleanOptionalAction, default=None,
         help="compiled kernel tier for the ml hot loops (default: "
              "$REPRO_JIT or on; --no-jit forces the numpy reference path)",
+    )
+
+
+def _add_obs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--obs", action=argparse.BooleanOptionalAction, default=None,
+        help="structured span tracing to <cache>/obs/ (default: "
+             "$REPRO_OBS or off; metrics counters are always on)",
     )
 
 
@@ -563,6 +619,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_cache_dir_flag(p_pipe)
     _add_results_dir_flag(p_pipe)
     _add_jit_flag(p_pipe)
+    _add_obs_flag(p_pipe)
 
     p_suite = sub.add_parser("bench-suite", help="build the full suite dataset")
     p_suite.add_argument("--scale", default="bench")
@@ -590,6 +647,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_jobs_flag(p_train)
     _add_cache_dir_flag(p_train)
     _add_jit_flag(p_train)
+    _add_obs_flag(p_train)
 
     p_predict = sub.add_parser(
         "predict", help="serve predictions from a stored model (no training)"
@@ -613,6 +671,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_jobs_flag(p_predict)
     _add_cache_dir_flag(p_predict)
     _add_jit_flag(p_predict)
+    _add_obs_flag(p_predict)
 
     p_frontends = sub.add_parser(
         "frontends", help="list registered trace frontends"
@@ -684,6 +743,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     _add_cache_dir_flag(p_serve)
     _add_jit_flag(p_serve)
+    _add_obs_flag(p_serve)
+
+    p_obs = sub.add_parser(
+        "obs", help="inspect captured span traces (<cache>/obs/)"
+    )
+    p_obs.add_argument("action", choices=["trace", "top", "list"])
+    p_obs.add_argument(
+        "trace", nargs="?", default=None,
+        help="trace id (trace action; see `repro obs list`)",
+    )
+    p_obs.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="rows shown by top/list (default: 20)",
+    )
+    _add_cache_dir_flag(p_obs)
 
     p_models = sub.add_parser("models", help="inspect the model store")
     p_models.add_argument("action", choices=["list", "show", "rm"])
@@ -694,13 +768,15 @@ def main(argv: list[str] | None = None) -> int:
     _add_cache_dir_flag(p_models)
 
     args = parser.parse_args(argv)
-    from repro import jit
+    from repro import jit, obs
     from repro.cache import set_cache_root, set_results_dir
 
     set_cache_root(getattr(args, "cache_dir", None))
     set_results_dir(getattr(args, "results_dir", None))
     # exported as REPRO_JIT so spawned workers resolve the same setting
     jit.set_enabled(getattr(args, "jit", None))
+    # likewise REPRO_OBS: spawned cluster/queue workers trace too
+    obs.set_enabled(getattr(args, "obs", None))
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
@@ -710,6 +786,7 @@ def main(argv: list[str] | None = None) -> int:
         "train": _cmd_train,
         "predict": _cmd_predict,
         "serve": _cmd_serve,
+        "obs": _cmd_obs,
         "models": _cmd_models,
         "frontends": _cmd_frontends,
         "trace": _cmd_trace,

@@ -18,13 +18,26 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
+import zipfile
 
 import numpy as np
 
 from repro.cache import cache_root
 from repro.features.encoder import NUM_FEATURES, iter_encoded_chunks
 from repro.frontends import DEFAULT_FRONTEND
+from repro.obs.metrics import REGISTRY
+
+log = logging.getLogger(__name__)
+
+
+def _count(outcome: str) -> None:
+    REGISTRY.counter(
+        "repro_feature_cache_total",
+        "On-disk feature cache lookups by outcome.",
+        outcome=outcome,
+    ).inc()
 
 #: Bump when the Table I encoding changes incompatibly.
 ENCODER_VERSION = 1
@@ -94,8 +107,24 @@ def encoded_features(
     if cache_dir:
         path = _cache_path(cache_dir, benchmark, max_instructions, seed, isa)
         if os.path.exists(path):
-            with np.load(path) as data:
-                return data["features"]
+            # a torn write or bit rot must not take prediction down:
+            # count + log the corruption, fall through, and recompute
+            # (the rewrite below repairs the cache entry)
+            try:
+                with np.load(path) as data:
+                    features = data["features"]
+            except (OSError, ValueError, KeyError,
+                    zipfile.BadZipFile) as exc:
+                _count("corrupt")
+                log.warning(
+                    "corrupt feature cache entry %s (%s): recomputing",
+                    path, exc,
+                )
+            else:
+                _count("hit")
+                return features
+        else:
+            _count("miss")
     trace = get_frontend(isa).trace(benchmark, max_instructions, seed=seed)
     # fill a preallocated matrix chunk-by-chunk: peak transient memory is
     # one chunk, not a second copy of the whole stream

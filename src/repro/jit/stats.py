@@ -12,6 +12,15 @@ from __future__ import annotations
 import threading
 
 from repro.jit.signature import KernelSignature
+from repro.obs.metrics import REGISTRY
+
+
+def _event(kind: str):
+    return REGISTRY.counter(
+        "repro_jit_events_total",
+        "JIT tier events by kind (compiles, cache hits, fallbacks).",
+        kind=kind,
+    )
 
 
 class JitStats:
@@ -56,24 +65,36 @@ class JitStats:
                 self.disk_hits += 1
             else:
                 self.compiles += 1
+        _event("disk_hit" if from_disk else "compile").inc()
+        REGISTRY.histogram(
+            "repro_jit_compile_seconds",
+            "Time to produce (or reload) one compiled kernel.",
+        ).observe(seconds)
 
     def record_call(self, sig: KernelSignature, seconds: float) -> None:
         with self._lock:
             entry = self._entry(sig)
             entry["calls"] += 1
             entry["seconds"] += seconds
+        REGISTRY.histogram(
+            "repro_jit_call_seconds",
+            "Compiled kernel call durations.",
+        ).observe(seconds)
 
     def record_registry_hit(self) -> None:
         with self._lock:
             self.registry_hits += 1
+        _event("registry_hit").inc()
 
     def record_error(self) -> None:
         with self._lock:
             self.errors += 1
+        _event("error").inc()
 
     def record_disabled(self) -> None:
         with self._lock:
             self.disabled_calls += 1
+        _event("disabled_call").inc()
 
     # -- reporting --------------------------------------------------------
     def snapshot(self) -> dict:

@@ -1,0 +1,279 @@
+"""Read-side of the trace log: load, stitch, and render span trees.
+
+The writers in :mod:`repro.obs.trace` append two record kinds per span
+(``start`` when it opens, ``span`` when it closes) to per-process JSONL
+files under ``<cache>/obs/``.  This module is the consumer: it reads
+*every* file in that directory, groups records by trace id, pairs starts
+with ends (a start without an end means the process died mid-span — the
+span is kept and marked truncated), and renders either a parent-indented
+tree for one trace (``repro obs trace``) or an aggregate hot-path table
+across all of them (``repro obs top``).
+
+Nothing here imports numpy or the rest of the stack; the viewers work on
+any obs directory, including one copied off another machine.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.cache import obs_dir
+
+
+@dataclass
+class SpanRecord:
+    """One stitched span (or a truncated start-only span)."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    ts: float
+    dur_s: float | None
+    cpu_s: float | None
+    status: str
+    pid: int | None
+    host: str
+    attrs: dict = field(default_factory=dict)
+    children: list = field(default_factory=list)
+
+    @property
+    def truncated(self) -> bool:
+        """Started but never finished — its process died mid-span."""
+        return self.dur_s is None
+
+
+def _iter_records(root: str | None = None):
+    """Yield every parseable JSON record in the obs directory.
+
+    Skips unreadable files and malformed lines (a SIGKILLed writer may
+    leave one truncated final line) — the reader's contract is "every
+    complete record survives", not "the file is pristine".
+    """
+    directory = root or obs_dir()
+    if not os.path.isdir(directory):
+        return
+    for entry in sorted(os.listdir(directory)):
+        if not (entry.startswith("spans-") and entry.endswith(".jsonl")):
+            continue
+        path = os.path.join(directory, entry)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        continue  # torn tail write
+                    if isinstance(record, dict):
+                        yield record
+        except OSError:
+            continue
+
+
+def load_spans(root: str | None = None) -> list[SpanRecord]:
+    """All spans across every log file, stitched start+end, by time."""
+    open_spans: dict[str, SpanRecord] = {}
+    done: dict[str, SpanRecord] = {}
+    for record in _iter_records(root):
+        span_id = record.get("span")
+        trace_id = record.get("trace")
+        if not span_id or not trace_id:
+            continue
+        if record.get("ev") == "start":
+            if span_id not in done:
+                open_spans[span_id] = SpanRecord(
+                    trace_id=str(trace_id),
+                    span_id=str(span_id),
+                    parent_id=record.get("parent"),
+                    name=str(record.get("name", "?")),
+                    ts=float(record.get("ts", 0.0)),
+                    dur_s=None,
+                    cpu_s=None,
+                    status="truncated",
+                    pid=record.get("pid"),
+                    host=str(record.get("host", "?")),
+                )
+        elif record.get("ev") == "span":
+            open_spans.pop(span_id, None)
+            done[span_id] = SpanRecord(
+                trace_id=str(trace_id),
+                span_id=str(span_id),
+                parent_id=record.get("parent"),
+                name=str(record.get("name", "?")),
+                ts=float(record.get("ts", 0.0)),
+                dur_s=float(record.get("dur_s", 0.0)),
+                cpu_s=float(record.get("cpu_s", 0.0)),
+                status=str(record.get("status", "ok")),
+                pid=record.get("pid"),
+                host=str(record.get("host", "?")),
+                attrs=record.get("attrs") or {},
+            )
+    spans = list(done.values()) + list(open_spans.values())
+    spans.sort(key=lambda s: s.ts)
+    return spans
+
+
+def group_traces(spans: list[SpanRecord]) -> dict[str, list[SpanRecord]]:
+    """Spans bucketed by trace id (each bucket time-ordered)."""
+    traces: dict[str, list[SpanRecord]] = {}
+    for span in spans:
+        traces.setdefault(span.trace_id, []).append(span)
+    return traces
+
+
+def list_traces(root: str | None = None) -> list[dict]:
+    """One summary row per trace, newest first (``repro obs list``)."""
+    rows = []
+    for trace_id, spans in group_traces(load_spans(root)).items():
+        roots = [s for s in spans if s.parent_id is None]
+        top = roots[0] if roots else spans[0]
+        durations = [s.dur_s for s in spans if s.dur_s is not None]
+        rows.append({
+            "trace": trace_id,
+            "root": top.name,
+            "spans": len(spans),
+            "processes": len({(s.host, s.pid) for s in spans}),
+            "start": min(s.ts for s in spans),
+            "duration_s": max(durations) if durations else None,
+            "truncated": sum(1 for s in spans if s.truncated),
+            "errors": sum(
+                1 for s in spans if s.status.startswith("error")
+            ),
+        })
+    rows.sort(key=lambda r: r["start"], reverse=True)
+    return rows
+
+
+def build_tree(spans: list[SpanRecord]) -> list[SpanRecord]:
+    """Wire up ``children`` lists; returns the roots, time-ordered.
+
+    A span whose parent is missing from the log (it lives in another
+    trace fragment, or its record was lost) becomes a root — the tree
+    renders whatever survived rather than refusing.
+    """
+    by_id = {s.span_id: s for s in spans}
+    for span in spans:
+        span.children = []
+    roots = []
+    for span in spans:
+        parent = by_id.get(span.parent_id) if span.parent_id else None
+        if parent is not None and parent is not span:
+            parent.children.append(span)
+        else:
+            roots.append(span)
+    for span in spans:
+        span.children.sort(key=lambda s: s.ts)
+    roots.sort(key=lambda s: s.ts)
+    return roots
+
+
+def _fmt_dur(seconds: float | None) -> str:
+    if seconds is None:
+        return "   ...   "
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1e3:7.2f}ms"
+
+
+def render_trace(
+    trace_id: str, spans: list[SpanRecord] | None = None,
+    root: str | None = None,
+) -> str:
+    """The span tree of one trace as indented text."""
+    if spans is None:
+        spans = group_traces(load_spans(root)).get(trace_id, [])
+    if not spans:
+        return f"trace {trace_id}: no spans found"
+    lines = [
+        f"trace {trace_id}  "
+        f"({len(spans)} spans, "
+        f"{len({(s.host, s.pid) for s in spans})} processes)"
+    ]
+
+    def walk(span: SpanRecord, depth: int) -> None:
+        marks = []
+        if span.truncated:
+            marks.append("TRUNCATED")
+        elif span.status != "ok":
+            marks.append(span.status)
+        attrs = ""
+        if span.attrs:
+            attrs = "  " + " ".join(
+                f"{k}={v}" for k, v in sorted(span.attrs.items())
+            )
+        mark = ("  [" + "; ".join(marks) + "]") if marks else ""
+        lines.append(
+            f"{_fmt_dur(span.dur_s)}  "
+            f"{'  ' * depth}{span.name}"
+            f"  <{span.host}:{span.pid}>{attrs}{mark}"
+        )
+        for child in span.children:
+            walk(child, depth + 1)
+
+    for tree_root in build_tree(spans):
+        walk(tree_root, 0)
+    return "\n".join(lines)
+
+
+def hot_paths(
+    spans: list[SpanRecord] | None = None, root: str | None = None,
+    limit: int = 20,
+) -> list[dict]:
+    """Aggregate *self time* per span name across all traces.
+
+    Self time is a span's duration minus its children's — the classic
+    hot-path attribution, so a long parent doesn't shadow the child
+    actually burning the time.  Truncated spans contribute nothing
+    (their duration is unknown).
+    """
+    if spans is None:
+        spans = load_spans(root)
+    stats: dict[str, dict] = {}
+    build_tree(spans)  # populate children
+    for span in spans:
+        if span.dur_s is None:
+            continue
+        child_time = sum(
+            c.dur_s for c in span.children if c.dur_s is not None
+        )
+        self_time = max(0.0, span.dur_s - child_time)
+        row = stats.setdefault(span.name, {
+            "name": span.name, "count": 0, "total_s": 0.0,
+            "self_s": 0.0, "cpu_s": 0.0, "max_s": 0.0, "errors": 0,
+        })
+        row["count"] += 1
+        row["total_s"] += span.dur_s
+        row["self_s"] += self_time
+        row["cpu_s"] += span.cpu_s or 0.0
+        row["max_s"] = max(row["max_s"], span.dur_s)
+        if span.status.startswith("error"):
+            row["errors"] += 1
+    rows = sorted(stats.values(), key=lambda r: r["self_s"], reverse=True)
+    return rows[:limit]
+
+
+def render_top(
+    spans: list[SpanRecord] | None = None, root: str | None = None,
+    limit: int = 20,
+) -> str:
+    """The hot-path table as aligned text (``repro obs top``)."""
+    rows = hot_paths(spans, root, limit)
+    if not rows:
+        return "no spans recorded"
+    header = (
+        f"{'self(s)':>10}  {'total(s)':>10}  {'cpu(s)':>10}  "
+        f"{'count':>7}  {'max(s)':>10}  {'err':>4}  name"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['self_s']:>10.4f}  {row['total_s']:>10.4f}  "
+            f"{row['cpu_s']:>10.4f}  {row['count']:>7d}  "
+            f"{row['max_s']:>10.4f}  {row['errors']:>4d}  {row['name']}"
+        )
+    return "\n".join(lines)

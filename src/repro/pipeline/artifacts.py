@@ -27,10 +27,14 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import time
 
 from repro.cache import stage_store_dir
+from repro.obs.metrics import REGISTRY
+
+log = logging.getLogger(__name__)
 
 #: Bump when the artifact record layout changes incompatibly.
 STAGE_STORE_FORMAT = 1
@@ -81,20 +85,48 @@ class StageArtifactStore:
         return os.path.join(self.root, f"{key}.json")
 
     def get(self, key: str) -> dict | None:
-        """The stored record, or ``None`` on miss/corruption (recompute)."""
+        """The stored record, or ``None`` on miss/corruption (recompute).
+
+        Corruption still reads as a miss — the stage recomputes and
+        republishes — but is counted and logged instead of silently
+        indistinguishable from "never ran".
+        """
         path = self.path(key)
         if not os.path.exists(path):
+            self._count("miss")
             return None
         try:
             with open(path, encoding="utf-8") as fh:
                 record = json.load(fh)
-        except (OSError, json.JSONDecodeError):
+        except OSError:
+            self._count("miss")
+            return None
+        except json.JSONDecodeError as exc:
+            self._corrupt(key, f"unparseable JSON: {exc}")
             return None
         if not isinstance(record, dict) or record.get("format") != STAGE_STORE_FORMAT:
+            self._corrupt(key, "wrong format marker")
             return None
         if "payload" not in record:
+            self._corrupt(key, "record has no payload")
             return None
+        self._count("hit")
         return record
+
+    @staticmethod
+    def _count(outcome: str) -> None:
+        REGISTRY.counter(
+            "repro_stage_store_lookups_total",
+            "Stage artifact store lookups by outcome.",
+            outcome=outcome,
+        ).inc()
+
+    def _corrupt(self, key: str, reason: str) -> None:
+        self._count("corrupt")
+        log.warning(
+            "corrupt stage record %s (%s): treating as miss, stage "
+            "will recompute", self.path(key), reason,
+        )
 
     def put(
         self,
@@ -104,6 +136,7 @@ class StageArtifactStore:
         spec_name: str,
         payload: dict,
         seconds: float | None = None,
+        cpu_seconds: float | None = None,
         worker: str | None = None,
         overwrite: bool = True,
     ) -> str:
@@ -129,6 +162,8 @@ class StageArtifactStore:
         }
         if seconds is not None:
             record["seconds"] = round(float(seconds), 6)
+        if cpu_seconds is not None:
+            record["cpu_seconds"] = round(float(cpu_seconds), 6)
         if worker is not None:
             record["worker"] = worker
         tmp = f"{path}.{os.getpid()}.tmp"

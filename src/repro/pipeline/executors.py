@@ -35,6 +35,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Protocol
 
+from repro import obs
 from repro.pipeline.artifacts import StageArtifactStore, stage_key
 from repro.pipeline.spec import ExperimentSpec, StageSpec
 from repro.runtime.progress import NULL_PROGRESS
@@ -204,14 +205,27 @@ def _serve_cached(plan: ExecutionPlan, report: ExecutionReport) -> None:
             plan.notify(task, result)
 
 
-def _stage_job(item) -> dict:
-    """Top-level (picklable) pool entry point for one local stage."""
+def _stage_job(item) -> tuple:
+    """Top-level (picklable) pool entry point for one local stage.
+
+    Returns ``(payload, seconds, cpu_seconds)`` so the backend records
+    per-stage wall/CPU timing even when stages fan out across pool
+    processes (the parent's clock can't see a child's CPU time).
+    """
     stage, ctx, inputs = item
     import repro.pipeline.presets  # noqa: F401 — registers preset analyses
 
     from repro.pipeline.stages import STAGE_KINDS
 
-    return STAGE_KINDS[stage.kind].run(ctx, stage, inputs)
+    start = time.perf_counter()
+    cpu_start = time.process_time()
+    with obs.span("stage.run", stage=stage.name, kind=stage.kind):
+        payload = STAGE_KINDS[stage.kind].run(ctx, stage, inputs)
+    return (
+        payload,
+        time.perf_counter() - start,
+        time.process_time() - cpu_start,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -223,6 +237,12 @@ class LocalBackend:
     name = "local"
 
     def execute(self, plan: ExecutionPlan) -> ExecutionReport:
+        with obs.span(
+            "pipeline.run", backend=self.name, tasks=len(plan.tasks),
+        ):
+            return self._execute(plan)
+
+    def _execute(self, plan: ExecutionPlan) -> ExecutionReport:
         report = ExecutionReport()
         _serve_cached(plan, report)
         pending = [t for t in plan.tasks if t.key not in report.results]
@@ -288,12 +308,14 @@ class LocalBackend:
                     report.failure = (task.spec_name, task.stage.name,
                                       res.error)
                 continue
-            seconds = elapsed / max(len(wave), 1)
+            payload, seconds, cpu_seconds = res.value
+            if not seconds:
+                seconds = elapsed / max(len(wave), 1)
             plan.store.put(
                 task.key, task.stage.name, task.stage.kind, task.spec_name,
-                res.value, seconds=seconds,
+                payload, seconds=seconds, cpu_seconds=cpu_seconds,
             )
-            result = TaskResult(key=task.key, payload=res.value,
+            result = TaskResult(key=task.key, payload=payload,
                                 cached=False, seconds=seconds)
             report.results[task.key] = result
             plan.notify(task, result)
@@ -374,6 +396,15 @@ class QueueBackend:
 
     # -- the coordinator loop ----------------------------------------------
     def execute(self, plan: ExecutionPlan) -> ExecutionReport:
+        # the run span stays open across spawn + the whole loop, so the
+        # context stamped into task files (and the spawn env) parents
+        # every worker's stage spans on this coordinator
+        with obs.span(
+            "pipeline.run", backend=self.name, tasks=len(plan.tasks),
+        ):
+            return self._execute(plan)
+
+    def _execute(self, plan: ExecutionPlan) -> ExecutionReport:
         import uuid
 
         from repro.pipeline.queue import WorkQueue
@@ -417,7 +448,10 @@ class QueueBackend:
                     if key not in enqueued and all(
                         k in report.results for k in task.upstream.values()
                     ):
-                        queue.enqueue(task.to_message())
+                        # the trace context rides the task file so the
+                        # claiming worker — spawned child or a process
+                        # on another host — joins this run's trace
+                        queue.enqueue(obs.inject_message(task.to_message()))
                         enqueued.add(key)
                 for key in list(enqueued):
                     record = plan.store.get(key)

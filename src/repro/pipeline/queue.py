@@ -41,6 +41,7 @@ worker via ``repro pipeline worker``.  No sockets, no broker:
 from __future__ import annotations
 
 import json
+import logging
 import os
 import socket
 import time
@@ -48,6 +49,9 @@ import uuid
 from dataclasses import dataclass
 
 from repro.cache import queue_dir
+from repro.obs.metrics import REGISTRY
+
+log = logging.getLogger(__name__)
 
 _TASKS = "tasks"
 _LEASES = "leases"
@@ -71,11 +75,23 @@ def _write_json_atomic(path: str, data: dict) -> None:
 
 
 def _read_json(path: str) -> dict | None:
-    """A whole JSON object, or ``None`` for missing/corrupt (= retry)."""
+    """A whole JSON object, or ``None`` for missing/corrupt (= retry).
+
+    Corrupt files (present but unparseable — a torn write or a flipped
+    bit) are counted and logged rather than silently folded into
+    "missing": a retry still recovers, but the corruption is visible.
+    """
     try:
         with open(path, encoding="utf-8") as fh:
             data = json.load(fh)
-    except (OSError, json.JSONDecodeError):
+    except OSError:
+        return None
+    except json.JSONDecodeError as exc:
+        REGISTRY.counter(
+            "repro_queue_corrupt_total",
+            "Queue files present but unparseable.",
+        ).inc()
+        log.warning("corrupt queue file %s: %s", path, exc)
         return None
     return data if isinstance(data, dict) else None
 
@@ -202,6 +218,11 @@ class WorkQueue:
             # completed (or corrupt) between scan and claim: release
             self._unlink(lease_path)
             return None
+        REGISTRY.counter(
+            "repro_queue_claims_total",
+            "Successful task claims by kind.",
+            kind="steal" if steal else "fresh",
+        ).inc()
         return Claim(task=task, token=token, stolen=steal)
 
     def heartbeat(self, claim: Claim) -> None:
@@ -263,6 +284,11 @@ class WorkQueue:
             if age is not None and (age > self.lease_ttl_s or not has_task):
                 if self._unlink(self.lease_path(key)):
                     reaped += 1
+        if reaped:
+            REGISTRY.counter(
+                "repro_queue_leases_reaped_total",
+                "Expired or orphaned leases dropped by the coordinator.",
+            ).inc(reaped)
         return reaped
 
     def reap_tmp(self, ttl_s: float = 600.0) -> int:

@@ -34,6 +34,7 @@ import time
 import traceback
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.pipeline.artifacts import StageArtifactStore
 from repro.pipeline.queue import (
     DEFAULT_LEASE_TTL_S,
@@ -101,8 +102,14 @@ class WorkerStats:
         }
 
 
-def execute_task(task: dict, store: StageArtifactStore) -> tuple[dict, float]:
-    """Run one task's stage; returns ``(payload, seconds)``.
+def execute_task(
+    task: dict, store: StageArtifactStore
+) -> tuple[dict, float, float]:
+    """Run one task's stage; returns ``(payload, seconds, cpu_seconds)``.
+
+    ``seconds`` is wall time, ``cpu_seconds`` this process's CPU time
+    over the same window — both are persisted on the stage record so
+    sweeps can tell "slow because busy" from "slow because waiting".
 
     Upstream payloads are resolved from the artifact store by key — the
     coordinator only enqueues a task once every upstream key has been
@@ -139,8 +146,13 @@ def execute_task(task: dict, store: StageArtifactStore) -> tuple[dict, float]:
             )
         inputs[name] = record["payload"]
     start = time.perf_counter()
+    cpu_start = time.process_time()
     payload = STAGE_KINDS[stage.kind].run(ctx, stage, inputs)
-    return payload, time.perf_counter() - start
+    return (
+        payload,
+        time.perf_counter() - start,
+        time.process_time() - cpu_start,
+    )
 
 
 def _heartbeat_loop(queue: WorkQueue, claim: Claim,
@@ -154,6 +166,10 @@ def run_claim(queue: WorkQueue, store: StageArtifactStore, claim: Claim,
               stats: WorkerStats, worker_id: str) -> None:
     """Execute one claimed task end to end (dedup, heartbeat, publish)."""
     task = claim.task
+    # the coordinator's trace context rides the task file; popping it
+    # here parents this worker's stage span on the coordinator's run
+    # span (and keeps the wire key out of the stage identity)
+    ctx = obs.extract_message(task)
     force = bool(task.get("force"))
     if not force and store.get(claim.key) is not None:
         # someone else (a racing thief, or a previous run) already
@@ -167,11 +183,17 @@ def run_claim(queue: WorkQueue, store: StageArtifactStore, claim: Claim,
     )
     heartbeat.start()
     try:
-        payload, seconds = execute_task(task, store)
         stage = task["stage"]
+        with obs.span(
+            "stage.run", parent=ctx, stage=stage["name"],
+            kind=stage["kind"], key=claim.key, worker=worker_id,
+            stolen=claim.stolen,
+        ):
+            payload, seconds, cpu_seconds = execute_task(task, store)
         store.put(
             claim.key, stage["name"], stage["kind"], task.get("spec", "?"),
-            payload, seconds=seconds, worker=worker_id, overwrite=force,
+            payload, seconds=seconds, cpu_seconds=cpu_seconds,
+            worker=worker_id, overwrite=force,
         )
     except Exception:
         stop.set()

@@ -37,12 +37,21 @@ class WorkerProcess:
     """
 
     def __init__(self, target, args: tuple = (), name: str | None = None):
+        from repro.obs.trace import inject_env
+
         ctx = mp_context()
         parent, child = ctx.Pipe(duplex=True)
         self.process = ctx.Process(
             target=target, args=(child, *args), name=name, daemon=True
         )
-        self.process.start()
+        # spawn snapshots os.environ at start(): export the current
+        # trace context for the child's lifetime, then restore ours, so
+        # the child's root spans join the spawning trace
+        restore = inject_env()
+        try:
+            self.process.start()
+        finally:
+            restore()
         child.close()  # the child's end lives in the child now
         self.conn: multiprocessing.connection.Connection = parent
 

@@ -40,6 +40,7 @@ import dataclasses
 import threading
 from concurrent.futures import Future
 
+from repro import obs
 from repro.api import Session
 from repro.serving.dispatch import (
     Dispatcher,
@@ -106,12 +107,21 @@ def _worker_main(conn, options: dict) -> None:
         # parseable remainder runs through the service's per-request
         # error-isolating batch path.
         parsed: list[tuple[int, ServeRequest]] = []
+        parent = None
         for rid, payload in message[1]:
+            # the frontend's trace context rides the envelope; pop it
+            # before schema validation and parent this worker's span on
+            # it so the request stitches across the process boundary
+            ctx = obs.extract_message(payload)
+            parent = parent or ctx
             try:
                 parsed.append((rid, ServeRequest.from_dict(payload)))
             except (ValueError, TypeError) as exc:
                 conn.send(("err", rid, "bad-request", str(exc)))
-        outcomes = service.predict_each([req for _, req in parsed])
+        with obs.span(
+            "worker.predict", parent=parent, requests=len(parsed),
+        ):
+            outcomes = service.predict_each([req for _, req in parsed])
         for (rid, _), outcome in zip(parsed, outcomes):
             if isinstance(outcome, Exception):
                 conn.send(
@@ -133,6 +143,10 @@ def _handle_control(service: PredictionService, cid: int, payload: dict):
             # section, so the frontend can report whether this process
             # answered from compiled or reference kernels
             return ("ctl-ok", cid, service.stats())
+        if op == "metrics":
+            # this worker's registry snapshot; the frontend merges it
+            # into /v1/metrics under a {"worker": id} label
+            return ("ctl-ok", cid, obs.metrics_snapshot())
         if op == "swap":
             # preload: after the ack this artifact is warm in the LRU,
             # so switching the route never serves a cold/partial model
@@ -257,7 +271,10 @@ class PredictionCluster:
             else dataclasses.replace(request, artifact=artifact)
         )
         key = (concrete.family, concrete.artifact)
-        return self.dispatcher.submit(concrete.to_dict(), key=key)
+        # stamp the current trace context onto the envelope so the
+        # worker's spans join this request's trace (multi-process stitch)
+        payload = obs.inject_message(concrete.to_dict())
+        return self.dispatcher.submit(payload, key=key)
 
     def predict(
         self, request: ServeRequest, timeout: float | None = None
@@ -339,6 +356,27 @@ class PredictionCluster:
             "routes": routes,
             "worker_stats": self._collect_worker_stats(worker_timeout_s),
         }
+
+    def worker_metrics(self, timeout_s: float = 2.0) -> dict:
+        """Per-worker metrics snapshots keyed by worker id.
+
+        Fans the ``metrics`` control op out to every live worker; a
+        worker that dies or stalls is simply absent from the result —
+        ``/v1/metrics`` renders whatever answered.
+        """
+        if not self._started:
+            return {}
+        acks = [
+            (wid, self.dispatcher.control(wid, {"op": "metrics"}))
+            for wid in self.dispatcher.alive_workers()
+        ]
+        collected: dict = {}
+        for wid, ack in acks:
+            try:
+                collected[wid] = ack.result(timeout=timeout_s)
+            except Exception:  # noqa: BLE001 - scrape is best-effort
+                continue
+        return collected
 
     def _collect_worker_stats(self, timeout_s: float) -> dict:
         """Best-effort per-worker service counters (jit activity included).

@@ -51,6 +51,8 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
+from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
+
 
 class ServingUnavailable(RuntimeError):
     """The cluster cannot answer right now — retry later (HTTP 503)."""
@@ -132,7 +134,7 @@ class _Entry:
 
     __slots__ = (
         "payload", "key", "future", "deadline", "rids", "sent_at",
-        "hedged", "resolved",
+        "hedged", "resolved", "created_at",
     )
 
     def __init__(self, payload, key, deadline):
@@ -144,6 +146,7 @@ class _Entry:
         self.sent_at: float | None = None
         self.hedged = False
         self.resolved = False
+        self.created_at = time.monotonic()
 
 
 class _Lane:
@@ -227,6 +230,7 @@ class _Lane:
         for _, entry in live:
             if entry.sent_at is None:
                 entry.sent_at = now
+        self.dispatcher._batch_size.observe(len(items))
         self.link.send_requests(items)
 
 
@@ -255,6 +259,27 @@ class Dispatcher:
             "submitted": 0, "completed": 0, "failed": 0, "rejected": 0,
             "timed_out": 0, "hedged": 0, "failovers": 0,
         }
+        self._event_counters = {
+            kind: REGISTRY.counter(
+                "repro_dispatch_events_total",
+                "Dispatcher request lifecycle events by kind.",
+                kind=kind,
+            )
+            for kind in self.stats_counters
+        }
+        self._latency = REGISTRY.histogram(
+            "repro_dispatch_latency_seconds",
+            "Request latency from submission to resolution.",
+        )
+        self._batch_size = REGISTRY.histogram(
+            "repro_dispatch_batch_size",
+            "Requests shipped to a worker per lane batch.",
+            buckets=SIZE_BUCKETS,
+        )
+        self._pending_gauge = REGISTRY.gauge(
+            "repro_dispatch_pending",
+            "Requests queued or in flight right now.",
+        )
         self._watchdog = threading.Thread(
             target=self._watch_loop, name="repro-dispatch-watchdog",
             daemon=True,
@@ -289,19 +314,19 @@ class Dispatcher:
                 raise NoWorkersAvailable("dispatcher is shutting down")
             lanes = [lane for lane in self._lanes.values() if lane.alive]
             if not lanes:
-                self.stats_counters["rejected"] += 1
+                self._bump("rejected")
                 raise NoWorkersAvailable("no alive workers")
             self._admit(key)
             entry = _Entry(payload, key, now + self.policy.queue_timeout_s)
             lane = self._pick_lane(key, lanes)
             if lane is None:
                 self._unadmit(key)
-                self.stats_counters["rejected"] += 1
+                self._bump("rejected")
                 raise QueueFull(
                     f"every candidate worker is at queue depth "
                     f"{self.policy.queue_depth}; retry later"
                 )
-            self.stats_counters["submitted"] += 1
+            self._bump("submitted")
             self._enqueue(lane, entry)
         return entry.future
 
@@ -387,7 +412,7 @@ class Dispatcher:
                     )
                     continue
                 target = min(survivors, key=_Lane.load)
-                self.stats_counters["failovers"] += 1
+                self._bump("failovers")
                 self._enqueue(target, entry, allow_overflow=True)
         if self.on_worker_lost is not None:
             self.on_worker_lost(worker_id)
@@ -435,6 +460,11 @@ class Dispatcher:
                 future.set_exception(NoWorkersAvailable("dispatcher closed"))
 
     # -- internals --------------------------------------------------------
+    def _bump(self, kind: str) -> None:
+        """One lifecycle event: the legacy stats dict and the registry."""
+        self.stats_counters[kind] += 1
+        self._event_counters[kind].inc()
+
     def _new_id(self) -> int:
         self._next_id += 1
         return self._next_id
@@ -453,7 +483,7 @@ class Dispatcher:
                     del admitted[stale]
                     break
             else:
-                self.stats_counters["rejected"] += 1
+                self._bump("rejected")
                 raise QueueFull(
                     f"model admission is full "
                     f"({self.policy.admission} active models); retry later"
@@ -490,6 +520,7 @@ class Dispatcher:
         entry.rids.append(rid)
         self._pending[rid] = entry
         self._rid_lane[rid] = lane.worker_id
+        self._pending_gauge.set(len(self._pending))
         with lane.cond:
             lane.queue.append((rid, entry))
             lane.cond.notify_all()
@@ -513,7 +544,7 @@ class Dispatcher:
         self._resolve(entry, result=result, exc=exc)
 
     def _timeout_entry(self, entry: _Entry) -> None:
-        self.stats_counters["timed_out"] += 1
+        self._bump("timed_out")
         self._resolve(
             entry,
             exc=RequestTimeout(
@@ -534,10 +565,12 @@ class Dispatcher:
                 if lane is not None:
                     lane.mark_done(rid)
             self._unadmit(entry.key)
+            self._pending_gauge.set(len(self._pending))
             if exc is None:
-                self.stats_counters["completed"] += 1
+                self._bump("completed")
             else:
-                self.stats_counters["failed"] += 1
+                self._bump("failed")
+            self._latency.observe(time.monotonic() - entry.created_at)
         if exc is None:
             entry.future.set_result(result)
         else:
@@ -583,7 +616,7 @@ class Dispatcher:
                 if lane.load() < self.policy.queue_depth
             ] or [min(lanes, key=_Lane.load)]
             entry.hedged = True
-            self.stats_counters["hedged"] += 1
+            self._bump("hedged")
             self._enqueue(candidates[0], entry, allow_overflow=True)
 
 

@@ -33,8 +33,12 @@ their own status; everything else -> 500 with the exception text.
 from __future__ import annotations
 
 import json
+import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
+from repro import obs
+from repro.obs.metrics import REGISTRY, render_prometheus
 from repro.core.errors import PredictionError, UnknownBenchmarkError
 from repro.models import StoreError
 from repro.serving.dispatch import ServingUnavailable, WorkerError
@@ -43,9 +47,15 @@ from repro.serving.service import ServeRequest
 #: Largest accepted request body (bytes) — predict payloads are tiny.
 MAX_BODY = 1 << 20
 
+#: Header carrying the per-request id (client-supplied or assigned here).
+REQUEST_ID_HEADER = "X-Request-Id"
+
 
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/2"
+
+    #: Assigned at ingress for every request; echoed on every reply.
+    request_id: str = ""
 
     @property
     def service(self):
@@ -55,21 +65,53 @@ class _Handler(BaseHTTPRequestHandler):
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
+    def _assign_request_id(self) -> str:
+        """Ingress id: honour a client-supplied header, else mint one.
+
+        Every response — success, 400, 503-with-Retry-After — echoes it
+        back (header always, body on errors), so a client can correlate
+        a shed request with server logs and traces.
+        """
+        supplied = (self.headers.get(REQUEST_ID_HEADER) or "").strip()
+        self.request_id = supplied[:128] or uuid.uuid4().hex[:16]
+        return self.request_id
+
     # -- plumbing ---------------------------------------------------------
     def _reply(
         self, status: int, payload: dict, headers: dict | None = None
     ) -> None:
         body = json.dumps(payload).encode()
+        self._send_head(status, "application/json", len(body), headers)
+        self.wfile.write(body)
+
+    def _reply_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode()
+        self._send_head(status, content_type, len(body), None)
+        self.wfile.write(body)
+
+    def _send_head(
+        self, status: int, content_type: str, length: int,
+        headers: dict | None,
+    ) -> None:
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(length))
+        if self.request_id:
+            self.send_header(REQUEST_ID_HEADER, self.request_id)
         for name, value in (headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
-        self.wfile.write(body)
+        REGISTRY.counter(
+            "repro_http_responses_total",
+            "HTTP responses by status code.",
+            status=str(status),
+        ).inc()
 
     def _error(self, status: int, message: str, **headers) -> None:
-        self._reply(status, {"error": message}, headers=headers or None)
+        payload = {"error": message}
+        if self.request_id:
+            payload["request_id"] = self.request_id
+        self._reply(status, payload, headers=headers or None)
 
     def _fail(self, exc: Exception) -> None:
         """One exception -> one HTTP error reply (see module docstring)."""
@@ -95,7 +137,10 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- GET --------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib casing
-        if self.path == "/healthz":
+        self._assign_request_id()
+        if self.path == "/v1/metrics":
+            self._get_metrics()
+        elif self.path == "/healthz":
             dispatcher = getattr(self.service, "dispatcher", None)
             self._reply(200, {
                 "status": "ok",
@@ -113,8 +158,24 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._error(404, f"no such endpoint: {self.path}")
 
+    def _get_metrics(self) -> None:
+        """Prometheus text over this process plus every cluster worker."""
+        snapshots = [({}, obs.metrics_snapshot())]
+        worker_metrics = getattr(self.service, "worker_metrics", None)
+        if worker_metrics is not None:
+            try:
+                for wid, snap in sorted(worker_metrics().items()):
+                    snapshots.append(({"worker": str(wid)}, snap))
+            except Exception:  # noqa: BLE001 - scrape must not 500
+                pass  # a dying worker shouldn't fail the whole scrape
+        self._reply_text(
+            200, render_prometheus(snapshots),
+            "text/plain; version=0.0.4",
+        )
+
     # -- POST -------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        self._assign_request_id()
         if self.path == "/v1/predict":
             self._post_predict()
         elif self.path == "/v1/swap":
@@ -137,14 +198,36 @@ class _Handler(BaseHTTPRequestHandler):
         except (ValueError, TypeError) as exc:
             self._error(400, f"bad request: {exc}")
             return
-        try:
-            # service: micro-batch queue; cluster: dispatcher lanes —
-            # either way concurrent clients share batched engine passes
-            futures = [self.service.submit(r) for r in requests]
-            results = [f.result() for f in futures]
-        except Exception as exc:
-            self._fail(exc)
+        started = time.perf_counter()
+        error: Exception | None = None
+        with obs.span(
+            "http.predict", request_id=self.request_id,
+            requests=len(requests),
+        ) as sp:
+            try:
+                # service: micro-batch queue; cluster: dispatcher lanes —
+                # either way concurrent clients share batched engine passes
+                futures = [self.service.submit(r) for r in requests]
+                results = [f.result() for f in futures]
+            except Exception as exc:
+                error = exc
+                sp.set("error", f"{type(exc).__name__}: {exc}")
+        if error is not None:
+            # dump after the span closed so it is in the flight ring
+            self._fail(error)
+            obs.dump_flight(
+                f"failed-{self.request_id}",
+                extra={"request_id": self.request_id, "error": str(error)},
+            )
             return
+        elapsed = time.perf_counter() - started
+        slow_after = obs.slow_threshold_s()
+        if slow_after is not None and elapsed > slow_after:
+            obs.dump_flight(
+                f"slow-{self.request_id}",
+                extra={"request_id": self.request_id,
+                       "elapsed_s": elapsed},
+            )
         if batched:
             self._reply(
                 200, {"results": [r.to_dict() for r in results]}

@@ -38,9 +38,11 @@ from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.api import Session
 from repro.core.errors import PredictionError
 from repro.models import PerformanceModel
+from repro.obs.metrics import REGISTRY, SIZE_BUCKETS
 
 #: Request fields accepted over the wire.
 _REQUEST_FIELDS = {"benchmark", "family", "artifact", "config",
@@ -165,6 +167,24 @@ class PredictionService:
         self._queue: queue.Queue = queue.Queue()
         self._collector: threading.Thread | None = None
         self._stopping = threading.Event()
+        self._batch_size_hist = REGISTRY.histogram(
+            "repro_microbatch_size",
+            "Requests answered per micro-batch flush.",
+            buckets=SIZE_BUCKETS,
+        )
+        self._flush_hist = REGISTRY.histogram(
+            "repro_microbatch_flush_seconds",
+            "Wall time to answer one micro-batch.",
+        )
+        self._cache_events = {
+            (cache, outcome): REGISTRY.counter(
+                "repro_serving_cache_total",
+                "Serving LRU lookups by cache and outcome.",
+                cache=cache, outcome=outcome,
+            )
+            for cache in ("model", "feature")
+            for outcome in ("hit", "miss")
+        }
 
     # -- caches -----------------------------------------------------------
     def model(
@@ -179,9 +199,15 @@ class PredictionService:
         with self._lock:
             model = self._models.get(artifact_id)
         if model is None:
-            model = self.session.store.load(artifact_id, mmap=self.mmap)
+            self._cache_events[("model", "miss")].inc()
+            with obs.span("service.model_load", artifact=artifact_id):
+                model = self.session.store.load(
+                    artifact_id, mmap=self.mmap
+                )
             with self._lock:
                 self._models.put(artifact_id, model)
+        else:
+            self._cache_events[("model", "hit")].inc()
         return artifact_id, model
 
     def features(self, benchmark: str):
@@ -194,9 +220,13 @@ class PredictionService:
         with self._lock:
             stream = self._features.get(benchmark)
         if stream is None:
-            stream = self.session.features(benchmark, memo=False)
+            self._cache_events[("feature", "miss")].inc()
+            with obs.span("service.feature_load", benchmark=benchmark):
+                stream = self.session.features(benchmark, memo=False)
             with self._lock:
                 self._features.put(benchmark, stream)
+        else:
+            self._cache_events[("feature", "hit")].inc()
         return stream
 
     # -- synchronous path -------------------------------------------------
@@ -354,7 +384,13 @@ class PredictionService:
         return batch
 
     def _answer(self, batch: list[tuple[ServeRequest, Future]]) -> None:
-        outcomes = self.predict_each([request for request, _ in batch])
+        started = time.perf_counter()
+        with obs.span("service.microbatch", size=len(batch)):
+            outcomes = self.predict_each(
+                [request for request, _ in batch]
+            )
+        self._batch_size_hist.observe(len(batch))
+        self._flush_hist.observe(time.perf_counter() - started)
         for (_, future), outcome in zip(batch, outcomes):
             if isinstance(outcome, Exception):
                 future.set_exception(outcome)

@@ -15,7 +15,14 @@ def _isolate_repro_env():
     fixture a test that exercises those flags would silently redirect
     every later test's caches, results or kernel tier.
     """
-    variables = ("REPRO_CACHE_DIR", "REPRO_RESULTS_DIR", "REPRO_JIT")
+    variables = (
+        "REPRO_CACHE_DIR",
+        "REPRO_RESULTS_DIR",
+        "REPRO_JIT",
+        "REPRO_OBS",
+        "REPRO_OBS_TRACE",
+        "REPRO_OBS_SLOW_MS",
+    )
     saved = {var: os.environ.get(var) for var in variables}
     yield
     for var, value in saved.items():

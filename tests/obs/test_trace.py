@@ -1,0 +1,173 @@
+"""Span core: gating, nesting, propagation channels, flight recorder."""
+
+import json
+import os
+
+import pytest
+
+from repro import obs
+from repro.cache import obs_dir
+
+
+@pytest.fixture
+def traced(tmp_path, monkeypatch):
+    """Tracing on, logs under a private cache root."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_OBS", "1")
+    monkeypatch.delenv("REPRO_OBS_TRACE", raising=False)
+    obs.reset_for_tests()
+    yield tmp_path
+    obs.reset_for_tests()
+
+
+def _records():
+    out = []
+    for name in sorted(os.listdir(obs_dir())):
+        if not name.startswith("spans-"):
+            continue
+        with open(os.path.join(obs_dir(), name)) as fh:
+            out.extend(json.loads(line) for line in fh if line.strip())
+    return out
+
+
+def test_disabled_is_noop(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    assert not obs.enabled()
+    sp = obs.span("anything", key="value")
+    assert sp is obs.NOOP_SPAN
+    with sp as inner:
+        inner.set("ignored", 1)
+        assert inner.context is None
+    assert not os.path.isdir(obs_dir())
+    # propagation helpers are no-ops too
+    message = {"payload": 1}
+    assert obs.inject_message(message) == {"payload": 1}
+    assert obs.dump_flight("nope") is None
+
+
+@pytest.mark.parametrize("value,expected", [
+    ("1", True), ("true", True), ("0", False), ("off", False),
+    ("no", False), ("FALSE", False),
+])
+def test_enabled_parses_env(monkeypatch, value, expected):
+    monkeypatch.setenv("REPRO_OBS", value)
+    assert obs.enabled() is expected
+
+
+def test_span_writes_start_and_end(traced):
+    with obs.span("work", items=3) as sp:
+        assert obs.current_span() is sp
+    assert obs.current_span() is None
+    records = _records()
+    assert [r["ev"] for r in records] == ["start", "span"]
+    start, end = records
+    assert start["name"] == end["name"] == "work"
+    assert start["span"] == end["span"]
+    assert end["parent"] is None
+    assert end["status"] == "ok"
+    assert end["dur_s"] >= 0
+    assert end["attrs"] == {"items": 3}
+
+
+def test_nested_spans_share_trace_and_parent(traced):
+    with obs.span("outer") as outer:
+        with obs.span("inner") as inner:
+            assert inner.trace_id == outer.trace_id
+            assert inner.parent_id == outer.span_id
+    # sibling opened after: still a child of outer, not of inner
+    with obs.span("outer") as outer:
+        with obs.span("first"):
+            pass
+        with obs.span("second") as second:
+            assert second.parent_id == outer.span_id
+
+
+def test_error_status_and_no_swallow(traced):
+    with pytest.raises(RuntimeError, match="boom"):
+        with obs.span("failing"):
+            raise RuntimeError("boom")
+    end = [r for r in _records() if r["ev"] == "span"][0]
+    assert end["status"] == "error: RuntimeError: boom"
+
+
+def test_message_propagation_roundtrip(traced):
+    with obs.span("sender") as sp:
+        message = obs.inject_message({"benchmark": "505.mcf"})
+    assert message["_obs"] == {"trace": sp.trace_id, "span": sp.span_id}
+    ctx = obs.extract_message(message)
+    assert "_obs" not in message  # popped: schema validation never sees it
+    assert ctx == obs.TraceContext(sp.trace_id, sp.span_id)
+    # the receiver's span parents on the propagated context
+    with obs.span("receiver", parent=ctx) as child:
+        assert child.trace_id == sp.trace_id
+        assert child.parent_id == sp.span_id
+
+
+def test_span_accepts_wire_dict_parent(traced):
+    with obs.span("root") as root:
+        wire = obs.inject_message({})["_obs"]
+    with obs.span("child", parent=wire) as child:
+        assert child.trace_id == root.trace_id
+
+
+def test_env_propagation_restores(traced):
+    with obs.span("spawner") as sp:
+        restore = obs.inject_env()
+        assert os.environ["REPRO_OBS_TRACE"] == (
+            f"{sp.trace_id}:{sp.span_id}"
+        )
+        restore()
+        assert "REPRO_OBS_TRACE" not in os.environ
+
+
+def test_ambient_env_parents_root_spans(traced, monkeypatch):
+    monkeypatch.setenv("REPRO_OBS_TRACE", "aaaa:bbbb")
+    assert obs.ambient_context() == obs.TraceContext("aaaa", "bbbb")
+    with obs.span("child-process-root") as sp:
+        assert sp.trace_id == "aaaa"
+        assert sp.parent_id == "bbbb"
+    # an active in-process span wins over the ambient env
+    with obs.span("local-root") as outer:
+        with obs.span("nested") as nested:
+            assert nested.parent_id == outer.span_id
+
+
+def test_extract_message_tolerates_garbage(traced):
+    assert obs.extract_message({"_obs": "not-a-dict"}) is None
+    assert obs.extract_message({"_obs": {"trace": "", "span": "x"}}) is None
+    assert obs.extract_message({}) is None
+    assert obs.extract_message(None) is None
+
+
+def test_flight_recorder_dump(traced):
+    with obs.span("slow-thing"):
+        pass
+    path = obs.dump_flight("slow req/1", extra={"elapsed": 2.0})
+    assert path is not None and os.path.exists(path)
+    with open(path) as fh:
+        payload = json.load(fh)
+    assert payload["reason"] == "slow req/1"
+    assert payload["extra"] == {"elapsed": 2.0}
+    assert [s["name"] for s in payload["spans"]] == ["slow-thing"]
+    # unsafe reason characters are sanitized out of the filename
+    assert "slow-req-1" in os.path.basename(path)
+
+
+def test_slow_threshold(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS_SLOW_MS", raising=False)
+    assert obs.slow_threshold_s() is None
+    monkeypatch.setenv("REPRO_OBS_SLOW_MS", "250")
+    assert obs.slow_threshold_s() == 0.25
+    monkeypatch.setenv("REPRO_OBS_SLOW_MS", "junk")
+    assert obs.slow_threshold_s() is None
+
+
+def test_set_enabled_exports_env(monkeypatch):
+    monkeypatch.delenv("REPRO_OBS", raising=False)
+    obs.set_enabled(None)
+    assert "REPRO_OBS" not in os.environ
+    obs.set_enabled(True)
+    assert os.environ["REPRO_OBS"] == "1" and obs.enabled()
+    obs.set_enabled(False)
+    assert os.environ["REPRO_OBS"] == "0" and not obs.enabled()

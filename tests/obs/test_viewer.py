@@ -1,0 +1,150 @@
+"""Trace viewer: stitching, truncation, rendering, hot paths."""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.cache import obs_dir
+from repro.obs.viewer import (
+    build_tree,
+    hot_paths,
+    list_traces,
+    load_spans,
+    render_top,
+    render_trace,
+)
+
+
+@pytest.fixture
+def traced(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_OBS", "1")
+    monkeypatch.delenv("REPRO_OBS_TRACE", raising=False)
+    obs.reset_for_tests()
+    yield tmp_path
+    obs.reset_for_tests()
+
+
+def _write_log(name: str, lines: list[str]) -> str:
+    os.makedirs(obs_dir(), exist_ok=True)
+    path = os.path.join(obs_dir(), name)
+    with open(path, "w") as fh:
+        fh.write("\n".join(lines) + "\n")
+    return path
+
+
+def test_load_spans_stitches_start_and_end(traced):
+    with obs.span("root"):
+        with obs.span("child"):
+            pass
+    spans = load_spans()
+    assert sorted(s.name for s in spans) == ["child", "root"]
+    assert all(not s.truncated for s in spans)
+    root = next(s for s in spans if s.name == "root")
+    child = next(s for s in spans if s.name == "child")
+    assert child.parent_id == root.span_id
+    assert child.trace_id == root.trace_id
+
+
+def test_start_without_end_is_truncated(traced):
+    _write_log("spans-host-1.jsonl", [
+        '{"ev":"start","trace":"t1","span":"a","parent":null,'
+        '"name":"died","ts":1.0,"pid":1,"host":"host"}',
+    ])
+    spans = load_spans()
+    assert len(spans) == 1
+    assert spans[0].truncated
+    assert spans[0].status == "truncated"
+    assert spans[0].dur_s is None
+
+
+def test_torn_tail_line_is_skipped(traced):
+    _write_log("spans-host-2.jsonl", [
+        '{"ev":"span","trace":"t1","span":"a","parent":null,'
+        '"name":"ok","ts":1.0,"dur_s":0.5,"cpu_s":0.1,"status":"ok",'
+        '"pid":1,"host":"host"}',
+        '{"ev":"span","trace":"t1","span":"b","par',  # SIGKILL torn write
+    ])
+    spans = load_spans()
+    assert [s.name for s in spans] == ["ok"]
+
+
+def test_multi_file_stitching_one_trace(traced):
+    # coordinator log has the root, a worker log has the child: the
+    # reader stitches both files into one trace
+    _write_log("spans-host-10.jsonl", [
+        '{"ev":"span","trace":"t9","span":"r","parent":null,'
+        '"name":"pipeline.run","ts":1.0,"dur_s":2.0,"cpu_s":0.2,'
+        '"status":"ok","pid":10,"host":"host"}',
+    ])
+    _write_log("spans-host-11.jsonl", [
+        '{"ev":"span","trace":"t9","span":"c","parent":"r",'
+        '"name":"stage.run","ts":1.2,"dur_s":0.5,"cpu_s":0.4,'
+        '"status":"ok","pid":11,"host":"host"}',
+    ])
+    rows = list_traces()
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["trace"] == "t9"
+    assert row["root"] == "pipeline.run"
+    assert row["spans"] == 2
+    assert row["processes"] == 2
+    assert row["truncated"] == 0
+
+    roots = build_tree(load_spans())
+    assert len(roots) == 1
+    assert [c.name for c in roots[0].children] == ["stage.run"]
+
+
+def test_orphan_parent_becomes_root(traced):
+    _write_log("spans-host-3.jsonl", [
+        '{"ev":"span","trace":"t2","span":"x","parent":"lost",'
+        '"name":"orphan","ts":1.0,"dur_s":0.1,"cpu_s":0.0,"status":"ok",'
+        '"pid":1,"host":"host"}',
+    ])
+    roots = build_tree(load_spans())
+    assert [r.name for r in roots] == ["orphan"]
+
+
+def test_render_trace_marks_truncated_and_errors(traced):
+    with obs.span("parent", run="r1") as top_span:
+        trace_id = top_span.trace_id
+        try:
+            with obs.span("broken"):
+                raise ValueError("bad")
+        except ValueError:
+            pass
+    _write_log("spans-host-4.jsonl", [
+        '{"ev":"start","trace":"%s","span":"zz","parent":null,'
+        '"name":"half","ts":9.0,"pid":4,"host":"host"}' % trace_id,
+    ])
+    out = render_trace(trace_id)
+    assert f"trace {trace_id}" in out
+    assert "parent" in out and "run=r1" in out
+    assert "error: ValueError: bad" in out
+    assert "TRUNCATED" in out
+    assert render_trace("no-such-trace").endswith("no spans found")
+
+
+def test_hot_paths_self_time(traced):
+    _write_log("spans-host-5.jsonl", [
+        '{"ev":"span","trace":"t3","span":"p","parent":null,'
+        '"name":"outer","ts":1.0,"dur_s":1.0,"cpu_s":0.1,"status":"ok",'
+        '"pid":1,"host":"host"}',
+        '{"ev":"span","trace":"t3","span":"q","parent":"p",'
+        '"name":"inner","ts":1.1,"dur_s":0.8,"cpu_s":0.7,"status":"ok",'
+        '"pid":1,"host":"host"}',
+    ])
+    rows = hot_paths()
+    by_name = {r["name"]: r for r in rows}
+    # self time: outer burned 0.2s itself, inner all 0.8s
+    assert by_name["inner"]["self_s"] == pytest.approx(0.8)
+    assert by_name["outer"]["self_s"] == pytest.approx(0.2)
+    assert rows[0]["name"] == "inner"  # sorted by self time
+    top = render_top()
+    assert "inner" in top and "self(s)" in top
+
+
+def test_render_top_empty(traced):
+    assert render_top() == "no spans recorded"

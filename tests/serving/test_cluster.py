@@ -205,3 +205,16 @@ def test_worker_stats_report_jit_tier(cluster):
         assert "error" not in report
         assert report["scale"] == "smoke"
         assert report["jit"]["enabled"] is True
+
+
+def test_worker_metrics_fanout(cluster):
+    cluster.predict(ServeRequest(benchmark="505.mcf"), timeout=120)
+    metrics = cluster.worker_metrics()
+    assert len(metrics) == 2
+    # the request passed through exactly one worker's serving caches
+    assert any(
+        "repro_serving_cache_total" in snap for snap in metrics.values()
+    )
+    for snap in metrics.values():
+        for family in snap.values():
+            assert family["kind"] in ("counter", "gauge", "histogram")

@@ -113,3 +113,77 @@ def test_bad_payload_is_400(endpoint):
 def test_unknown_endpoint_is_404(endpoint):
     status, body = _post(f"{endpoint}/v1/nope", {"benchmark": "505.mcf"})
     assert status == 404
+
+
+# ---------------------------------------------------------------------------
+# request ids + metrics exposition
+# ---------------------------------------------------------------------------
+def _get_raw(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def _post_raw(url, payload, headers=None):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json", **(headers or {})},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+def test_every_response_carries_a_request_id(endpoint):
+    status, headers, _ = _get_raw(f"{endpoint}/healthz")
+    assert status == 200
+    assert len(headers["X-Request-Id"]) == 16  # minted at ingress
+
+    status, headers, _ = _post_raw(
+        f"{endpoint}/v1/predict", {"benchmark": "505.mcf"}
+    )
+    assert status == 200 and headers["X-Request-Id"]
+
+
+def test_client_supplied_request_id_is_echoed(endpoint):
+    status, headers, body = _post_raw(
+        f"{endpoint}/v1/predict", {"nope": 1},
+        headers={"X-Request-Id": "client-abc-123"},
+    )
+    assert status == 400
+    assert headers["X-Request-Id"] == "client-abc-123"
+    # error bodies carry the id too, so a log line can be correlated
+    assert json.loads(body)["request_id"] == "client-abc-123"
+
+
+def test_error_responses_carry_request_id_in_body(endpoint):
+    status, headers, body = _post_raw(
+        f"{endpoint}/v1/predict", {"benchmark": "not.a.benchmark"}
+    )
+    assert status == 404
+    payload = json.loads(body)
+    assert payload["request_id"] == headers["X-Request-Id"]
+
+
+def test_metrics_endpoint_parses_with_core_series(endpoint):
+    from repro.obs.metrics import parse_prometheus
+
+    # two predicts: the first may cold-load the model, the second is
+    # guaranteed to hit the warm cache
+    _post(f"{endpoint}/v1/predict", {"benchmark": "505.mcf"})
+    _post(f"{endpoint}/v1/predict", {"benchmark": "505.mcf"})
+    status, headers, body = _get_raw(f"{endpoint}/v1/metrics")
+    assert status == 200
+    assert headers["Content-Type"].startswith("text/plain")
+    samples = parse_prometheus(body.decode())
+    assert samples["repro_microbatch_size_count"] >= 1
+    assert samples["repro_microbatch_flush_seconds_count"] >= 1
+    assert samples['repro_serving_cache_total{cache="model",outcome="hit"}'] \
+        >= 1
+    assert any(k.startswith('repro_http_responses_total{status="200"}')
+               for k in samples)
